@@ -1,0 +1,357 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// builds the corresponding configuration and runs b.N simulated exchanges,
+// reporting the virtual exchange time (the paper's metric) as
+// "virt-ms/exchange" alongside Go's wall-clock numbers.
+//
+// Scaling benchmarks default to modest node counts so `go test -bench=.`
+// finishes quickly; cmd/stencilbench reproduces the full 256-node series.
+package stencil
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/exchange"
+	"github.com/nodeaware/stencil/internal/figures"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/nvml"
+	"github.com/nodeaware/stencil/internal/part"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// benchExchange builds the configuration once, then measures b.N exchanges,
+// reporting virtual time per exchange.
+func benchExchange(b *testing.B, opts exchange.Options) {
+	b.Helper()
+	e, err := exchange.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	st := e.Run(b.N)
+	b.StopTimer()
+	b.ReportMetric(st.Min()*1e3, "virt-ms/exchange")
+	b.ReportMetric(float64(st.TotalBytes)/1e6, "MB/exchange")
+}
+
+func ladderOpts(nodes, ranks, edge int, caps exchange.Capabilities, ca bool) exchange.Options {
+	return exchange.Options{
+		Nodes:        nodes,
+		RanksPerNode: ranks,
+		Domain:       part.Dim3{X: edge, Y: edge, Z: edge},
+		Radius:       2,
+		Quantities:   4,
+		ElemSize:     4,
+		Caps:         caps,
+		CUDAAware:    ca,
+		NodeAware:    true,
+	}
+}
+
+// BenchmarkFig3PartitionVolume regenerates Fig 3: total communication volume
+// of cubical versus sliced partitions.
+func BenchmarkFig3PartitionVolume(b *testing.B) {
+	domain := part.Dim3{X: 36, Y: 36, Z: 1}
+	for _, g := range []part.Dim3{{X: 2, Y: 2, Z: 1}, {X: 4, Y: 1, Z: 1}, {X: 3, Y: 3, Z: 1}, {X: 9, Y: 1, Z: 1}} {
+		g := g
+		b.Run(fmt.Sprintf("%dx%d", g.X, g.Y), func(b *testing.B) {
+			var v int
+			for i := 0; i < b.N; i++ {
+				v = part.CommVolume(domain, g, 1)
+			}
+			b.ReportMetric(float64(v), "halo-cells")
+		})
+	}
+}
+
+// BenchmarkFig9Overlap regenerates the Fig 9 scenario: one overlapped
+// exchange of 512^3-per-GPU subdomains with 4 SP quantities on one rank
+// driving two GPUs.
+func BenchmarkFig9Overlap(b *testing.B) {
+	nodeCfg := machine.NodeConfig{Sockets: 2, GPUsPerSocket: 1}
+	opts := exchange.Options{
+		Nodes:        1,
+		RanksPerNode: 1,
+		Domain:       part.Dim3{X: 1024, Y: 512, Z: 512},
+		Radius:       2,
+		Quantities:   4,
+		ElemSize:     4,
+		Caps:         exchange.CapsAll(),
+		NodeAware:    true,
+		NodeConfig:   &nodeCfg,
+	}
+	benchExchange(b, opts)
+}
+
+// BenchmarkFig10Topology regenerates Table I / Fig 10: node topology
+// discovery and the bandwidth matrix.
+func BenchmarkFig10Topology(b *testing.B) {
+	eng := sim.NewEngine()
+	m := machine.NewSummit(eng, 1)
+	b.Run("discover", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nvml.Discover(m.Nodes[0])
+		}
+	})
+	b.Run("measure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e2 := sim.NewEngine()
+			m2 := machine.NewSummit(e2, 1)
+			rt := cudart.NewRuntime(m2, false)
+			nvml.MeasureBandwidth(rt, 0, 64<<20)
+		}
+	})
+}
+
+// BenchmarkFig11Placement regenerates §IV-B: the worst-case-aspect domain
+// under node-aware versus trivial placement (paper: ~20% speedup).
+func BenchmarkFig11Placement(b *testing.B) {
+	for _, aware := range []bool{true, false} {
+		name := "node-aware"
+		if !aware {
+			name = "trivial"
+		}
+		aware := aware
+		b.Run(name, func(b *testing.B) {
+			benchExchange(b, exchange.Options{
+				Nodes:        1,
+				RanksPerNode: 6,
+				Domain:       part.Dim3{X: 1440, Y: 1452, Z: 700},
+				Radius:       2,
+				Quantities:   4,
+				ElemSize:     4,
+				Caps:         exchange.CapsAll(),
+				NodeAware:    aware,
+			})
+		})
+	}
+}
+
+// BenchmarkFig12aSingleNode regenerates the single-node specialization
+// sweep: ranks x capability ladder, with and without CUDA-aware MPI.
+func BenchmarkFig12aSingleNode(b *testing.B) {
+	edge := figures.CubeEdge(6)
+	for _, ca := range []bool{false, true} {
+		for _, ranks := range []int{1, 2, 6} {
+			for _, caps := range figures.Ladder {
+				opts := ladderOpts(1, ranks, edge, caps, ca)
+				b.Run(opts.ConfigString()+"/"+opts.CapsString(), func(b *testing.B) {
+					benchExchange(b, opts)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12bWeakScaling regenerates weak scaling without CUDA-aware
+// MPI (paper: to 256 nodes; here to 4 by default — see cmd/stencilbench).
+func BenchmarkFig12bWeakScaling(b *testing.B) {
+	for nodes := 1; nodes <= 4; nodes *= 2 {
+		edge := figures.CubeEdge(nodes * 6)
+		for _, caps := range figures.Ladder {
+			opts := ladderOpts(nodes, 6, edge, caps, false)
+			b.Run(opts.ConfigString()+"/"+opts.CapsString(), func(b *testing.B) {
+				benchExchange(b, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12cWeakScalingCA regenerates weak scaling with CUDA-aware MPI
+// (paper: severe degradation with node count).
+func BenchmarkFig12cWeakScalingCA(b *testing.B) {
+	for nodes := 1; nodes <= 4; nodes *= 2 {
+		edge := figures.CubeEdge(nodes * 6)
+		for _, caps := range []exchange.Capabilities{exchange.CapsRemote(), exchange.CapsAll()} {
+			opts := ladderOpts(nodes, 6, edge, caps, true)
+			b.Run(opts.ConfigString()+"/"+opts.CapsString(), func(b *testing.B) {
+				benchExchange(b, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13StrongScaling regenerates strong scaling: the largest
+// single-node domain spread over increasing node counts.
+func BenchmarkFig13StrongScaling(b *testing.B) {
+	edge := figures.CubeEdge(6)
+	for nodes := 1; nodes <= 4; nodes *= 2 {
+		for _, caps := range []exchange.Capabilities{exchange.CapsRemote(), exchange.CapsAll()} {
+			opts := ladderOpts(nodes, 6, edge, caps, false)
+			b.Run(opts.ConfigString()+"/"+opts.CapsString(), func(b *testing.B) {
+				benchExchange(b, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationNoContention removes link contention (all shared-facility
+// bandwidths inflated 100x) to show the STAGED-vs-specialized gap collapses:
+// contention on host memory, copy engines, and the SMP bus is what makes
+// staging slow, not path length alone.
+func BenchmarkAblationNoContention(b *testing.B) {
+	edge := figures.CubeEdge(6)
+	uncontended := machine.DefaultParams()
+	uncontended.HostMemBW *= 100
+	uncontended.ShmCopyBW *= 100
+	uncontended.XBusBW *= 100
+	for _, tc := range []struct {
+		name   string
+		params *machine.Params
+	}{
+		{"contended", nil},
+		{"uncontended", &uncontended},
+	} {
+		for _, caps := range []exchange.Capabilities{exchange.CapsRemote(), exchange.CapsAll()} {
+			opts := ladderOpts(1, 6, edge, caps, false)
+			opts.Params = tc.params
+			b.Run(tc.name+"/"+opts.CapsString(), func(b *testing.B) {
+				benchExchange(b, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationFlatPartition compares the hierarchical (node-then-GPU)
+// decomposition against a flat one-level decomposition: the flat grid can
+// reduce total surface slightly but pushes more bytes across the slow
+// inter-node links, which is what the hierarchy minimizes (§III-A).
+func BenchmarkAblationFlatPartition(b *testing.B) {
+	const nodes, gpus = 8, 6
+	for _, tc := range []struct {
+		name   string
+		domain part.Dim3
+	}{
+		// On a cube the two are nearly tied; on elongated domains the flat
+		// decomposition pushes 2-4x more bytes across the inter-node links.
+		{"cube", part.Dim3{X: 2726, Y: 2726, Z: 2726}},
+		{"elongated", part.Dim3{X: 5452, Y: 2726, Z: 1363}},
+	} {
+		b.Run(tc.name+"/hierarchical", func(b *testing.B) {
+			var offNode int64
+			for i := 0; i < b.N; i++ {
+				offNode = offNodeBytesHier(tc.domain, nodes, gpus)
+			}
+			b.ReportMetric(float64(offNode)/1e6, "offnode-MB")
+		})
+		b.Run(tc.name+"/flat", func(b *testing.B) {
+			var offNode int64
+			for i := 0; i < b.N; i++ {
+				offNode = offNodeBytesFlat(tc.domain, nodes, gpus)
+			}
+			b.ReportMetric(float64(offNode)/1e6, "offnode-MB")
+		})
+	}
+}
+
+// BenchmarkAblationSerialExchange quantifies §III-D: disabling the overlap
+// machinery (transfers driven to completion one at a time) versus the full
+// asynchronous exchange.
+func BenchmarkAblationSerialExchange(b *testing.B) {
+	edge := figures.CubeEdge(6)
+	for _, serial := range []bool{false, true} {
+		name := "overlapped"
+		if serial {
+			name = "serial"
+		}
+		opts := ladderOpts(1, 6, edge, exchange.CapsAll(), false)
+		opts.NoOverlap = serial
+		b.Run(name, func(b *testing.B) {
+			benchExchange(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationAggregation evaluates the §VI extension: one aggregated
+// MPI message per rank pair versus one message per direction, on a
+// multi-node STAGED exchange.
+func BenchmarkAblationAggregation(b *testing.B) {
+	edge := figures.CubeEdge(4 * 6)
+	for _, agg := range []bool{false, true} {
+		name := "per-direction"
+		if agg {
+			name = "aggregated"
+		}
+		opts := ladderOpts(4, 6, edge, exchange.CapsAll(), false)
+		opts.AggregateRemote = agg
+		b.Run(name, func(b *testing.B) {
+			benchExchange(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationEmpiricalPlacement compares placement driven by the
+// vendor topology query against placement driven by a congestion-aware
+// bandwidth measurement pass (§VI).
+func BenchmarkAblationEmpiricalPlacement(b *testing.B) {
+	for _, empirical := range []bool{false, true} {
+		name := "theoretical"
+		if empirical {
+			name = "empirical"
+		}
+		opts := exchange.Options{
+			Nodes:              1,
+			RanksPerNode:       6,
+			Domain:             part.Dim3{X: 1440, Y: 1452, Z: 700},
+			Radius:             2,
+			Quantities:         4,
+			ElemSize:           4,
+			Caps:               exchange.CapsAll(),
+			NodeAware:          true,
+			EmpiricalPlacement: empirical,
+		}
+		b.Run(name, func(b *testing.B) {
+			benchExchange(b, opts)
+		})
+	}
+}
+
+// offNodeBytesHier sums inter-node halo bytes under the hierarchical
+// decomposition.
+func offNodeBytesHier(domain part.Dim3, nodes, gpus int) int64 {
+	h, err := part.NewHier(domain, nodes, gpus)
+	if err != nil {
+		panic(err)
+	}
+	var total int64
+	for n := 0; n < nodes; n++ {
+		ni := h.NodeIndex(n)
+		for g := 0; g < gpus; g++ {
+			gi := h.GPUIndex(g)
+			_, size := h.Subdomain(ni, gi)
+			global := h.GlobalIndex(ni, gi)
+			for _, dir := range part.Directions26() {
+				nbNode, _ := h.Split(h.Neighbor(global, dir))
+				if nbNode != ni {
+					total += int64(part.HaloCells(size, dir, 2)) * 4 * 4
+				}
+			}
+		}
+	}
+	return total
+}
+
+// offNodeBytesFlat sums inter-node halo bytes when the domain is partitioned
+// in one flat step and subdomains are dealt to nodes in linear order.
+func offNodeBytesFlat(domain part.Dim3, nodes, gpus int) int64 {
+	grid := part.Grid(domain, nodes*gpus)
+	sub := part.Dim3{X: domain.X / grid.X, Y: domain.Y / grid.Y, Z: domain.Z / grid.Z}
+	rank := func(g part.Dim3) int { return g.X + grid.X*(g.Y+grid.Y*g.Z) }
+	wrap := func(v, n int) int { return ((v % n) + n) % n }
+	var total int64
+	for z := 0; z < grid.Z; z++ {
+		for y := 0; y < grid.Y; y++ {
+			for x := 0; x < grid.X; x++ {
+				me := part.Dim3{X: x, Y: y, Z: z}
+				for _, dir := range part.Directions26() {
+					nb := part.Dim3{X: wrap(x+dir.X, grid.X), Y: wrap(y+dir.Y, grid.Y), Z: wrap(z+dir.Z, grid.Z)}
+					if rank(me)/gpus != rank(nb)/gpus {
+						total += int64(part.HaloCells(sub, dir, 2)) * 4 * 4
+					}
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+// Command stencilbench regenerates the paper's evaluation figures on the
+// simulated platform and prints their rows.
+//
+// Usage:
+//
+//	stencilbench -experiment fig11|fig12a|fig12b|fig12c|fig13|fig3|all
+//	             [-maxnodes N] [-iters K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nodeaware/stencil/internal/figures"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, all)")
+	maxNodes := flag.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
+	iters := flag.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
+	flag.Parse()
+
+	runners := map[string]func() ([]figures.Row, error){
+		"table1": func() ([]figures.Row, error) { return figures.TableI(), nil },
+		"fig3":   func() ([]figures.Row, error) { return figures.Fig3(), nil },
+		"fig11":  func() ([]figures.Row, error) { return figures.Fig11(*iters) },
+		"fig12a": func() ([]figures.Row, error) { return figures.Fig12a(*iters) },
+		"fig12b": func() ([]figures.Row, error) { return figures.Fig12b(*maxNodes, *iters) },
+		"fig12c": func() ([]figures.Row, error) { return figures.Fig12c(*maxNodes, *iters) },
+		"fig13":  func() ([]figures.Row, error) { return figures.Fig13(*maxNodes, *iters) },
+	}
+	order := []string{"table1", "fig3", "fig11", "fig12a", "fig12b", "fig12c", "fig13"}
+
+	which := order
+	if *experiment != "all" {
+		if _, ok := runners[*experiment]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+		which = []string{*experiment}
+	}
+	for _, name := range which {
+		fmt.Printf("== %s ==\n", name)
+		rows, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,133 @@
+// Command stencilsim runs a single halo-exchange configuration described by
+// flags and reports the measured exchange time, method breakdown, and
+// placement decision — the general-purpose driver for exploring the space
+// the figures sample.
+//
+// Example:
+//
+//	stencilsim -nodes 4 -ranks 6 -domain 2163 -radius 2 -quantities 4 \
+//	           -caps kernel -iters 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	stencil "github.com/nodeaware/stencil"
+	"github.com/nodeaware/stencil/internal/machine"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "number of nodes")
+	ranks := flag.Int("ranks", 6, "MPI ranks per node")
+	domain := flag.String("domain", "1363", "domain extent: N for a cube or XxYxZ")
+	radius := flag.Int("radius", 2, "stencil radius (halo width)")
+	quantities := flag.Int("quantities", 4, "grid quantities")
+	caps := flag.String("caps", "kernel", "capability ladder rung: remote, colo, peer, kernel")
+	cudaAware := flag.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
+	trivial := flag.Bool("trivial-placement", false, "disable node-aware placement")
+	aggregate := flag.Bool("aggregate", false, "aggregate inter-node messages per rank pair")
+	noOverlap := flag.Bool("no-overlap", false, "serialize transfers (ablation)")
+	empirical := flag.Bool("empirical-placement", false, "measure bandwidths for placement")
+	openBoundary := flag.Bool("open-boundary", false, "non-periodic boundaries")
+	faceOnly := flag.Bool("face-only", false, "exchange only the 6 face neighbors")
+	iters := flag.Int("iters", 10, "exchange iterations (paper: 30)")
+	sockets := flag.Int("sockets", 2, "CPU sockets per node")
+	gpusPerSocket := flag.Int("gpus-per-socket", 3, "GPUs per socket")
+	flag.Parse()
+
+	dim, err := parseDomain(*domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capabilities, err := parseCaps(*caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeCfg := machine.NodeConfig{Sockets: *sockets, GPUsPerSocket: *gpusPerSocket}
+
+	cfg := stencil.Config{
+		Nodes:              *nodes,
+		RanksPerNode:       *ranks,
+		Domain:             dim,
+		Radius:             *radius,
+		Quantities:         *quantities,
+		Capabilities:       capabilities,
+		CUDAAware:          *cudaAware,
+		TrivialPlacement:   *trivial,
+		AggregateRemote:    *aggregate,
+		NoOverlap:          *noOverlap,
+		EmpiricalPlacement: *empirical,
+		OpenBoundary:       *openBoundary,
+		FaceOnly:           *faceOnly,
+		NodeConfig:         &nodeCfg,
+	}
+	dd, err := stencil.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("configuration: %dn/%dr/%dg domain %v radius %d quantities %d caps %s\n",
+		*nodes, *ranks, nodeCfg.GPUs(), dim, *radius, *quantities, *caps)
+	fmt.Printf("subdomain grid: %v (%d subdomains)\n", dd.GridDims(), dd.NumSubdomains())
+	if !*trivial {
+		fmt.Printf("placement (node 0): %v, QAP cost reduction %.1f%% vs trivial\n",
+			dd.Assignment(0), dd.PlacementImprovement(0)*100)
+	}
+	fmt.Println("method breakdown:")
+	for m, c := range dd.MethodBreakdown() {
+		fmt.Printf("  %-16v %6d plans\n", m, c)
+	}
+
+	fmt.Println("traffic by link class:")
+	fmt.Print(dd.Traffic())
+	dev, hostB := dd.StagingBytes()
+	fmt.Printf("staging buffers: %.1f MB device, %.1f MB pinned host\n", float64(dev)/1e6, float64(hostB)/1e6)
+
+	st := dd.Exchange(*iters)
+	fmt.Printf("\nexchange time over %d iterations (max across ranks):\n", *iters)
+	fmt.Printf("  min  %8.3f ms\n", st.Min()*1e3)
+	fmt.Printf("  mean %8.3f ms\n", st.Mean()*1e3)
+	fmt.Printf("  max  %8.3f ms\n", st.Max()*1e3)
+	fmt.Printf("bytes per exchange: %.1f MB\n", float64(st.TotalBytes)/1e6)
+}
+
+func parseDomain(s string) (stencil.Dim3, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	switch len(parts) {
+	case 1:
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 1 {
+			return stencil.Dim3{}, fmt.Errorf("bad domain %q", s)
+		}
+		return stencil.Dim3{X: n, Y: n, Z: n}, nil
+	case 3:
+		var d [3]int
+		for i, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 1 {
+				return stencil.Dim3{}, fmt.Errorf("bad domain %q", s)
+			}
+			d[i] = n
+		}
+		return stencil.Dim3{X: d[0], Y: d[1], Z: d[2]}, nil
+	}
+	return stencil.Dim3{}, fmt.Errorf("domain must be N or XxYxZ, got %q", s)
+}
+
+func parseCaps(s string) (stencil.Capabilities, error) {
+	switch strings.ToLower(s) {
+	case "remote":
+		return stencil.CapsRemote(), nil
+	case "colo":
+		return stencil.CapsColo(), nil
+	case "peer":
+		return stencil.CapsPeer(), nil
+	case "kernel", "all":
+		return stencil.CapsAll(), nil
+	}
+	return stencil.Capabilities{}, fmt.Errorf("unknown caps %q (want remote|colo|peer|kernel)", s)
+}

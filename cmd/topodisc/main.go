@@ -1,0 +1,48 @@
+// Command topodisc prints the discovered topology of the simulated node
+// (paper Fig 10 / Table I): the link-class matrix as nvidia-smi topo -m
+// renders it, the theoretical per-pair bandwidths the placement phase
+// consumes, and optionally an empirically measured matrix (§VI future work).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/nvml"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func main() {
+	sockets := flag.Int("sockets", 2, "CPU sockets per node")
+	gpusPerSocket := flag.Int("gpus-per-socket", 3, "GPUs per socket")
+	measure := flag.Bool("measure", false, "also run the pairwise bandwidth microbenchmark")
+	probe := flag.Int64("probe-mib", 64, "probe transfer size in MiB for -measure")
+	flag.Parse()
+
+	eng := sim.NewEngine()
+	m := machine.New(eng, 1, machine.NodeConfig{Sockets: *sockets, GPUsPerSocket: *gpusPerSocket}, machine.DefaultParams())
+	node := m.Nodes[0]
+
+	fmt.Printf("simulated node: %d sockets x %d GPUs (Summit-like)\n\n", *sockets, *gpusPerSocket)
+	topo := nvml.Discover(node)
+	fmt.Println("link classes (nvidia-smi topo -m style):")
+	fmt.Println(topo.String())
+	fmt.Println("theoretical per-pair bandwidth (GB/s):")
+	fmt.Println(topo.BandwidthString())
+
+	p := m.Params
+	fmt.Println("node link inventory:")
+	fmt.Printf("  NVLink (GPU-GPU in triad, GPU-CPU): %5.1f GB/s per direction\n", p.NVLinkBW/machine.GB)
+	fmt.Printf("  X-Bus (socket-socket SMP):          %5.1f GB/s per direction\n", p.XBusBW/machine.GB)
+	fmt.Printf("  NIC (node injection):               %5.1f GB/s per direction\n", p.NICBW/machine.GB)
+	fmt.Printf("  host memory engine (per socket):    %5.1f GB/s\n", p.HostMemBW/machine.GB)
+
+	if *measure {
+		fmt.Println("\nmeasured per-pair bandwidth (GB/s), uncontended probes:")
+		rt := cudart.NewRuntime(m, false)
+		mt := nvml.MeasureBandwidth(rt, 0, *probe<<20)
+		fmt.Println(mt.BandwidthString())
+	}
+}

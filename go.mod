@@ -1,0 +1,3 @@
+module github.com/nodeaware/stencil
+
+go 1.22

@@ -1,0 +1,85 @@
+package stencil
+
+import (
+	"strings"
+	"testing"
+)
+
+func fillPattern(q, x, y, z int) float32 {
+	return float32(q*1_000_000 + z*10_000 + y*100 + x)
+}
+
+func TestFillAndVerifyHalos(t *testing.T) {
+	dd, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd.Fill(fillPattern)
+	dd.Exchange(1)
+	if bad, detail := dd.VerifyHalos(fillPattern); bad != 0 {
+		t.Errorf("%d bad halo cells: %s", bad, detail)
+	}
+}
+
+func TestVerifyHalosDetectsCorruption(t *testing.T) {
+	dd, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd.Fill(fillPattern)
+	dd.Exchange(1)
+	// Corrupt one halo cell: VerifyHalos must notice.
+	s := dd.Subdomains()[0]
+	s.Set(0, -1, 0, 0, -12345)
+	bad, detail := dd.VerifyHalos(fillPattern)
+	if bad == 0 {
+		t.Fatal("corruption not detected")
+	}
+	if !strings.Contains(detail, "got -12345") {
+		t.Errorf("detail missing corrupted value: %s", detail)
+	}
+}
+
+func TestFillVerifyOpenBoundary(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OpenBoundary = true
+	dd, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd.Fill(fillPattern)
+	dd.Exchange(1)
+	if bad, detail := dd.VerifyHalos(fillPattern); bad != 0 {
+		t.Errorf("open-boundary verification failed: %d bad (%s)", bad, detail)
+	}
+}
+
+func TestForEachInterior(t *testing.T) {
+	dd, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dd.Subdomains()[0]
+	count := 0
+	s.ForEachInterior(func(x, y, z int) { count++ })
+	if count != s.Size.Vol() {
+		t.Errorf("visited %d cells, want %d", count, s.Size.Vol())
+	}
+}
+
+func TestTrafficPublicAPI(t *testing.T) {
+	dd, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dd.Traffic()
+	if r.Total() <= 0 {
+		t.Fatal("no traffic accounted")
+	}
+	if r.Bytes[TrafficNIC] != 0 {
+		t.Error("single-node config reports NIC traffic")
+	}
+	if r.Bytes[TrafficNVLink] <= 0 {
+		t.Error("no NVLink traffic in fully specialized single-node config")
+	}
+}

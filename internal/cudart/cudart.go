@@ -1,0 +1,417 @@
+// Package cudart is a simulated CUDA runtime for the machine model.
+//
+// It reproduces the subset of CUDA the paper's library uses: devices, device
+// and pinned-host buffers, streams (in-order async op queues), events,
+// cudaMemcpyAsync / cudaMemcpyPeerAsync, pack/unpack kernels, peer-access
+// enablement, cudaIpc* handles, and device synchronization.
+//
+// Ops enqueued on a stream execute in issue order in virtual time. Data
+// transfers become flows over the machine's links, so concurrent copies
+// contend exactly as the hardware's would. Buffers optionally carry real
+// backing bytes: an op that moves data performs the actual byte copy at its
+// virtual completion time, which lets the test suite verify halo-exchange
+// correctness bit-for-bit while large-scale benchmarks run in time-only mode.
+package cudart
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/flownet"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// OpKind classifies a stream operation for tracing.
+type OpKind int
+
+const (
+	OpKernel OpKind = iota
+	OpMemcpyD2D
+	OpMemcpyD2H
+	OpMemcpyH2D
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpKernel:
+		return "kernel"
+	case OpMemcpyD2D:
+		return "memcpyD2D"
+	case OpMemcpyD2H:
+		return "memcpyD2H"
+	case OpMemcpyH2D:
+		return "memcpyH2D"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// OpRecord describes one completed stream operation, for Fig 9-style
+// timelines.
+type OpRecord struct {
+	Kind       OpKind
+	Name       string
+	Device     int // global device id, -1 for host-only
+	Stream     string
+	Start, End sim.Time
+	Bytes      int64
+}
+
+// Runtime is the simulated CUDA runtime for one cluster.
+type Runtime struct {
+	M        *machine.Machine
+	RealData bool // allocate and move real bytes
+	Devices  []*Device
+	OnOp     func(OpRecord) // optional trace hook
+}
+
+// NewRuntime creates a runtime with one Device per GPU in the machine,
+// numbered globally node-major.
+func NewRuntime(m *machine.Machine, realData bool) *Runtime {
+	rt := &Runtime{M: m, RealData: realData}
+	id := 0
+	for _, n := range m.Nodes {
+		for g := 0; g < n.Config.GPUs(); g++ {
+			d := &Device{rt: rt, ID: id, Node: n.ID, Local: g, peers: make(map[int]bool)}
+			d.defaultStream = d.newStream("default")
+			rt.Devices = append(rt.Devices, d)
+			id++
+		}
+	}
+	return rt
+}
+
+// DeviceAt returns the global device for (node, local GPU).
+func (rt *Runtime) DeviceAt(node, local int) *Device {
+	n := rt.M.Nodes[node]
+	return rt.Devices[node*n.Config.GPUs()+local]
+}
+
+func (rt *Runtime) record(r OpRecord) {
+	if rt.OnOp != nil {
+		rt.OnOp(r)
+	}
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	rt            *Runtime
+	ID            int // global id
+	Node          int
+	Local         int // index within node
+	peers         map[int]bool
+	defaultStream *Stream
+	streams       []*Stream
+}
+
+// DefaultStream returns the device's default stream (used internally by the
+// CUDA-aware MPI pathology model).
+func (d *Device) DefaultStream() *Stream { return d.defaultStream }
+
+// CanAccessPeer reports whether peer access can be enabled to other: GPUs on
+// the same node can be peers (intra-triad over NVLink, cross-socket over the
+// SMP bus).
+func (d *Device) CanAccessPeer(other *Device) bool {
+	return d.Node == other.Node && d != other
+}
+
+// EnablePeerAccess enables peer access from d to other (one direction, as in
+// CUDA). It returns an error if the devices cannot be peers.
+func (d *Device) EnablePeerAccess(other *Device) error {
+	if !d.CanAccessPeer(other) {
+		return fmt.Errorf("cudart: device %d cannot access peer %d", d.ID, other.ID)
+	}
+	d.peers[other.ID] = true
+	return nil
+}
+
+// PeerEnabled reports whether EnablePeerAccess(other) has been called.
+func (d *Device) PeerEnabled(other *Device) bool { return d.peers[other.ID] }
+
+func (d *Device) newStream(name string) *Stream {
+	s := &Stream{dev: d, name: fmt.Sprintf("d%d.%s", d.ID, name)}
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// NewStream creates a new asynchronous stream on the device.
+func (d *Device) NewStream(name string) *Stream { return d.newStream(name) }
+
+// Synchronize parks the process until every op enqueued so far on every
+// stream of the device has completed (cudaDeviceSynchronize).
+func (d *Device) Synchronize(p *sim.Proc) {
+	for _, s := range d.streams {
+		s.Synchronize(p)
+	}
+}
+
+// Malloc allocates a device buffer. Backing bytes are allocated only in
+// real-data mode.
+func (d *Device) Malloc(size int64) *Buffer {
+	b := &Buffer{dev: d, size: size}
+	if d.rt.RealData {
+		b.data = make([]byte, size)
+	}
+	return b
+}
+
+// MallocHost allocates a pinned host buffer on the given node and socket.
+func (rt *Runtime) MallocHost(node, socket int, size int64) *Buffer {
+	b := &Buffer{node: node, socket: socket, size: size, host: true}
+	if rt.RealData {
+		b.data = make([]byte, size)
+	}
+	return b
+}
+
+// Buffer is a device or pinned-host allocation.
+type Buffer struct {
+	dev    *Device // nil for host buffers
+	host   bool
+	node   int // for host buffers
+	socket int
+	size   int64
+	data   []byte // nil in time-only mode
+}
+
+// Size returns the allocation size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Device returns the owning device, or nil for a host buffer.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Host reports whether this is a pinned host buffer.
+func (b *Buffer) Host() bool { return b.host }
+
+// Data returns the backing bytes (nil in time-only mode). Simulated "GPU
+// kernels" in higher layers use this to perform real pack/unpack/compute.
+func (b *Buffer) Data() []byte { return b.data }
+
+// IpcMemHandle is the opaque handle produced by IpcGetMemHandle.
+type IpcMemHandle struct{ buf *Buffer }
+
+// IpcGetMemHandle produces an opaque sharable handle for a device buffer
+// (cudaIpcGetMemHandle). The cost is charged to the calling process.
+func (rt *Runtime) IpcGetMemHandle(p *sim.Proc, b *Buffer) IpcMemHandle {
+	if b.dev == nil {
+		panic("cudart: IpcGetMemHandle on host buffer")
+	}
+	p.Sleep(rt.M.Params.IpcGetHandle)
+	return IpcMemHandle{buf: b}
+}
+
+// IpcOpenMemHandle converts a handle received from another process into a
+// buffer valid in the caller's address space (cudaIpcOpenMemHandle). The
+// returned buffer aliases the original allocation.
+func (rt *Runtime) IpcOpenMemHandle(p *sim.Proc, h IpcMemHandle) *Buffer {
+	p.Sleep(rt.M.Params.IpcOpenHandle)
+	return h.buf
+}
+
+// Stream is an in-order asynchronous operation queue on one device.
+type Stream struct {
+	dev  *Device
+	name string
+	tail *sim.Signal // completion of the most recently enqueued op
+}
+
+// Name returns the stream's debug name.
+func (s *Stream) Name() string { return s.name }
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// enqueue adds an op that starts when the previous op and all extra
+// dependencies have completed. start must eventually fire done.
+func (s *Stream) enqueue(start func(done *sim.Signal), deps ...*sim.Signal) *sim.Signal {
+	eng := s.dev.rt.M.Eng
+	done := sim.NewSignal(eng, s.name+".op")
+	all := make([]*sim.Signal, 0, len(deps)+1)
+	if s.tail != nil && !s.tail.Fired() {
+		all = append(all, s.tail)
+	}
+	for _, d := range deps {
+		if d != nil && !d.Fired() {
+			all = append(all, d)
+		}
+	}
+	s.tail = done
+	launch := func() { start(done) }
+	if len(all) == 0 {
+		launch()
+		return done
+	}
+	// Start when the last outstanding dependency fires.
+	pending := len(all)
+	for _, dep := range all {
+		dep.OnFire(func() {
+			pending--
+			if pending == 0 {
+				launch()
+			}
+		})
+	}
+	return done
+}
+
+// Enqueue adds a custom op to the stream: run starts once the previous op
+// and all deps complete, and must eventually fire done. Higher layers (the
+// simulated CUDA-aware MPI transport) use this to place their internal
+// transfers on a device's default stream.
+func (s *Stream) Enqueue(run func(done *sim.Signal), deps ...*sim.Signal) *sim.Signal {
+	return s.enqueue(run, deps...)
+}
+
+// Streams returns all streams created on the device, including the default
+// stream.
+func (d *Device) Streams() []*Stream { return d.streams }
+
+// AllWorkEvent returns a signal that fires once every op currently enqueued
+// on any stream of the device has completed. This models the legacy default
+// stream's device-wide synchronization behaviour.
+func (d *Device) AllWorkEvent() *sim.Signal {
+	eng := d.rt.M.Eng
+	ev := sim.NewSignal(eng, fmt.Sprintf("d%d.allwork", d.ID))
+	pending := 0
+	for _, s := range d.streams {
+		if s.tail != nil && !s.tail.Fired() {
+			pending++
+			s.tail.OnFire(func() {
+				pending--
+				if pending == 0 {
+					ev.Fire()
+				}
+			})
+		}
+	}
+	if pending == 0 {
+		ev.Fire()
+	}
+	return ev
+}
+
+// Synchronize parks the process until all currently enqueued ops complete
+// (cudaStreamSynchronize).
+func (s *Stream) Synchronize(p *sim.Proc) {
+	if s.tail != nil {
+		s.tail.Wait(p)
+	}
+}
+
+// Query reports whether all enqueued work has completed (cudaStreamQuery).
+func (s *Stream) Query() bool { return s.tail == nil || s.tail.Fired() }
+
+// EventRecord returns a signal that fires when all work enqueued on the
+// stream so far completes (cudaEventRecord + cudaEventSynchronize/Query
+// rolled into the Signal API).
+func (s *Stream) EventRecord() *sim.Signal {
+	eng := s.dev.rt.M.Eng
+	ev := sim.NewSignal(eng, s.name+".event")
+	if s.tail == nil || s.tail.Fired() {
+		ev.Fire()
+		return ev
+	}
+	s.tail.OnFire(ev.Fire)
+	return ev
+}
+
+// WaitEvent makes all subsequently enqueued ops wait for ev in addition to
+// stream order (cudaStreamWaitEvent).
+func (s *Stream) WaitEvent(ev *sim.Signal) {
+	s.enqueue(func(done *sim.Signal) { done.Fire() }, ev)
+}
+
+// Kernel enqueues a simulated kernel: it occupies the stream for the launch
+// overhead plus bytes/bw, then runs commit (the real data movement or
+// computation) at completion. A zero bw means the kernel costs only the
+// launch overhead. Optional deps gate the start in addition to stream order
+// (cudaStreamWaitEvent semantics). Returns the completion signal.
+func (s *Stream) Kernel(name string, bytes int64, bw float64, commit func(), deps ...*sim.Signal) *sim.Signal {
+	rt := s.dev.rt
+	eng := rt.M.Eng
+	dur := rt.M.Params.KernelLaunch
+	if bw > 0 {
+		dur += float64(bytes) / bw
+	}
+	return s.enqueue(func(done *sim.Signal) {
+		start := eng.Now()
+		eng.After(dur, func() {
+			if commit != nil {
+				commit()
+			}
+			rt.record(OpRecord{Kind: OpKernel, Name: name, Device: s.dev.ID, Stream: s.name, Start: start, End: eng.Now(), Bytes: bytes})
+			done.Fire()
+		})
+	}, deps...)
+}
+
+// memcpyFlow enqueues a copy over path, moving real bytes at completion.
+func (s *Stream) memcpyFlow(kind OpKind, name string, path []*flownet.Link, dst, src *Buffer, dstOff, srcOff, bytes int64, deps ...*sim.Signal) *sim.Signal {
+	rt := s.dev.rt
+	eng := rt.M.Eng
+	checkRange(dst, dstOff, bytes)
+	checkRange(src, srcOff, bytes)
+	return s.enqueue(func(done *sim.Signal) {
+		start := eng.Now()
+		f := rt.M.Net.StartFlow(name, path, float64(bytes))
+		f.Done().OnFire(func() {
+			if dst.data != nil && src.data != nil {
+				copy(dst.data[dstOff:dstOff+bytes], src.data[srcOff:srcOff+bytes])
+			}
+			rt.record(OpRecord{Kind: kind, Name: name, Device: s.dev.ID, Stream: s.name, Start: start, End: eng.Now(), Bytes: bytes})
+			done.Fire()
+		})
+	}, deps...)
+}
+
+func checkRange(b *Buffer, off, bytes int64) {
+	if off < 0 || bytes < 0 || off+bytes > b.size {
+		panic(fmt.Sprintf("cudart: copy range [%d,%d) out of buffer size %d", off, off+bytes, b.size))
+	}
+}
+
+// MemcpyPeerAsync enqueues a device-to-device copy (cudaMemcpyPeerAsync).
+// Both buffers must be device buffers on the same node; peer access from the
+// stream's device path is assumed enabled by the caller for cross-device
+// copies (the exchange layer checks it).
+func (s *Stream) MemcpyPeerAsync(name string, dst *Buffer, dstOff int64, src *Buffer, srcOff int64, bytes int64, deps ...*sim.Signal) *sim.Signal {
+	if dst.dev == nil || src.dev == nil {
+		panic("cudart: MemcpyPeerAsync requires device buffers")
+	}
+	if dst.dev.Node != src.dev.Node {
+		panic("cudart: MemcpyPeerAsync across nodes")
+	}
+	node := s.dev.rt.M.Nodes[src.dev.Node]
+	path := node.DevToDevPath(src.dev.Local, dst.dev.Local)
+	return s.memcpyFlow(OpMemcpyD2D, name, path, dst, src, dstOff, srcOff, bytes, deps...)
+}
+
+// MemcpyAsync enqueues a device<->pinned-host copy (cudaMemcpyAsync). One
+// buffer must be a device buffer, the other a host buffer on the same node.
+func (s *Stream) MemcpyAsync(name string, dst *Buffer, dstOff int64, src *Buffer, srcOff int64, bytes int64, deps ...*sim.Signal) *sim.Signal {
+	switch {
+	case src.dev != nil && dst.host: // D2H
+		if src.dev.Node != dst.node {
+			panic("cudart: D2H across nodes")
+		}
+		node := s.dev.rt.M.Nodes[src.dev.Node]
+		path := node.DevToHostPath(src.dev.Local, dst.socket)
+		return s.memcpyFlow(OpMemcpyD2H, name, path, dst, src, dstOff, srcOff, bytes, deps...)
+	case dst.dev != nil && src.host: // H2D
+		if dst.dev.Node != src.node {
+			panic("cudart: H2D across nodes")
+		}
+		node := s.dev.rt.M.Nodes[dst.dev.Node]
+		path := node.HostToDevPath(src.socket, dst.dev.Local)
+		return s.memcpyFlow(OpMemcpyH2D, name, path, dst, src, dstOff, srcOff, bytes, deps...)
+	default:
+		panic("cudart: MemcpyAsync requires one device and one pinned host buffer")
+	}
+}
+
+// IssueCost charges the calling process the CPU-side cost of issuing one
+// async memcpy (models the driver call, visible as CPU time in Fig 9).
+func (rt *Runtime) IssueCost(p *sim.Proc) { p.Sleep(rt.M.Params.MemcpyLaunch) }
+
+// LaunchCost charges the calling process the CPU-side cost of launching a
+// kernel.
+func (rt *Runtime) LaunchCost(p *sim.Proc) { p.Sleep(rt.M.Params.KernelLaunch) }

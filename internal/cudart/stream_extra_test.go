@@ -1,0 +1,106 @@
+package cudart
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func TestAllWorkEventIdleDevice(t *testing.T) {
+	_, rt := newRT(1, false)
+	ev := rt.Devices[0].AllWorkEvent()
+	if !ev.Fired() {
+		t.Error("idle device's AllWorkEvent should fire immediately")
+	}
+}
+
+func TestAllWorkEventWaitsForAllStreams(t *testing.T) {
+	e, rt := newRT(1, false)
+	d := rt.Devices[0]
+	s1 := d.NewStream("a")
+	s2 := d.NewStream("b")
+	k1 := s1.Kernel("short", 46e6, 46*machine.GB, nil) // 1 ms
+	k2 := s2.Kernel("long", 460e6, 46*machine.GB, nil) // 10 ms
+	ev := d.AllWorkEvent()
+	e.Run()
+	if !ev.Fired() {
+		t.Fatal("AllWorkEvent never fired")
+	}
+	if ev.FiredAt() < k2.FiredAt() || ev.FiredAt() < k1.FiredAt() {
+		t.Errorf("AllWorkEvent at %g before streams drained (%g, %g)",
+			ev.FiredAt(), k1.FiredAt(), k2.FiredAt())
+	}
+}
+
+func TestAllWorkEventIgnoresLaterWork(t *testing.T) {
+	e, rt := newRT(1, false)
+	d := rt.Devices[0]
+	s := d.NewStream("s")
+	s.Kernel("first", 46e6, 46*machine.GB, nil) // 1 ms
+	ev := d.AllWorkEvent()
+	// Work enqueued after the snapshot must not delay the event.
+	s.Kernel("second", 460e6, 46*machine.GB, nil) // +10 ms
+	e.Run()
+	if ev.FiredAt() > 0.0015 {
+		t.Errorf("AllWorkEvent at %g delayed by later work", ev.FiredAt())
+	}
+}
+
+func TestEnqueueCustomOp(t *testing.T) {
+	e, rt := newRT(1, false)
+	s := rt.Devices[0].NewStream("s")
+	var order []string
+	s.Kernel("k", 46e6, 46*machine.GB, func() { order = append(order, "k") })
+	s.Enqueue(func(done *sim.Signal) {
+		order = append(order, "custom")
+		done.Fire()
+	})
+	e.Run()
+	if len(order) != 2 || order[1] != "custom" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestStreamsListing(t *testing.T) {
+	_, rt := newRT(1, false)
+	d := rt.Devices[0]
+	base := len(d.Streams()) // default stream
+	d.NewStream("x")
+	d.NewStream("y")
+	if got := len(d.Streams()); got != base+2 {
+		t.Errorf("streams = %d, want %d", got, base+2)
+	}
+	if d.DefaultStream() == nil {
+		t.Error("no default stream")
+	}
+}
+
+func TestKernelWithDeps(t *testing.T) {
+	e, rt := newRT(1, false)
+	d := rt.Devices[0]
+	s1 := d.NewStream("s1")
+	s2 := d.NewStream("s2")
+	long := s1.Kernel("long", 460e6, 46*machine.GB, nil) // 10 ms
+	var ranAt sim.Time
+	s2.Kernel("gated", 0, 0, func() { ranAt = e.Now() }, long)
+	e.Run()
+	if ranAt < long.FiredAt() {
+		t.Errorf("gated kernel ran at %g before dep at %g", ranAt, long.FiredAt())
+	}
+}
+
+func TestIssueAndLaunchCosts(t *testing.T) {
+	e, rt := newRT(1, false)
+	var after sim.Time
+	e.Spawn("host", func(p *sim.Proc) {
+		rt.IssueCost(p)
+		rt.LaunchCost(p)
+		after = p.Now()
+	})
+	e.Run()
+	want := rt.M.Params.MemcpyLaunch + rt.M.Params.KernelLaunch
+	if after != want {
+		t.Errorf("cpu costs = %g, want %g", after, want)
+	}
+}

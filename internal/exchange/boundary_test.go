@@ -1,0 +1,170 @@
+package exchange
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+func TestOpenBoundaryCorrectness(t *testing.T) {
+	opts := smallOpts(6, CapsAll(), false)
+	opts.OpenBoundary = true
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison all halo cells so untouched ones are detectable, then fill
+	// interiors and exchange.
+	const poison = 0xdeadbeef
+	for _, sub := range e.Subs {
+		r := sub.Dom.Radius
+		size := sub.Dom.Size
+		for q := 0; q < sub.Dom.Quantities; q++ {
+			for z := -r; z < size.Z+r; z++ {
+				for y := -r; y < size.Y+r; y++ {
+					for x := -r; x < size.X+r; x++ {
+						interior := x >= 0 && x < size.X && y >= 0 && y < size.Y && z >= 0 && z < size.Z
+						if !interior {
+							binary.LittleEndian.PutUint32(sub.Dom.At(q, x, y, z), poison)
+						}
+					}
+				}
+			}
+		}
+	}
+	fillGlobal(e)
+	e.Run(1)
+
+	d := e.Opts.Domain
+	for _, sub := range e.Subs {
+		origin, size := e.Hier.Subdomain(sub.NodeIdx, sub.GPUIdx)
+		r := sub.Dom.Radius
+		for q := 0; q < sub.Dom.Quantities; q++ {
+			for z := -r; z < size.Z+r; z++ {
+				for y := -r; y < size.Y+r; y++ {
+					for x := -r; x < size.X+r; x++ {
+						interior := x >= 0 && x < size.X && y >= 0 && y < size.Y && z >= 0 && z < size.Z
+						if interior {
+							continue
+						}
+						gx, gy, gz := origin.X+x, origin.Y+y, origin.Z+z
+						outside := gx < 0 || gx >= d.X || gy < 0 || gy >= d.Y || gz < 0 || gz >= d.Z
+						got := binary.LittleEndian.Uint32(sub.Dom.At(q, x, y, z))
+						if outside {
+							if got != poison {
+								t.Fatalf("sub %v: boundary halo (%d,%d,%d) was written (%#x)", sub.Global, x, y, z, got)
+							}
+							continue
+						}
+						want := globalValue(e, q, gx, gy, gz)
+						if got != want {
+							t.Fatalf("sub %v: interior-adjacent halo (%d,%d,%d) = %#x, want %#x", sub.Global, x, y, z, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOpenBoundaryFewerPlans(t *testing.T) {
+	base := smallOpts(6, CapsAll(), false)
+	base.RealData = false
+	periodic, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.OpenBoundary = true
+	open, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open.Plans) >= len(periodic.Plans) {
+		t.Errorf("open boundary plans %d not fewer than periodic %d", len(open.Plans), len(periodic.Plans))
+	}
+	// No KERNEL self-exchanges without periodic wrap.
+	for _, p := range open.Plans {
+		if p.Method == MethodKernel || p.Src == p.Dst {
+			t.Errorf("self-exchange plan under open boundary: %v dir %v", p.Src.Global, p.Dir)
+		}
+	}
+}
+
+func TestNeighborOpenEdges(t *testing.T) {
+	h, err := part.NewHier(part.Dim3{X: 60, Y: 60, Z: 60}, 1, 6) // grid [3 2 1]
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.NeighborOpen(part.Dim3{X: 2, Y: 0, Z: 0}, part.Dim3{X: 1}); ok {
+		t.Error("+x step off the grid edge should have no neighbor")
+	}
+	if nb, ok := h.NeighborOpen(part.Dim3{X: 1, Y: 0, Z: 0}, part.Dim3{X: 1}); !ok || nb != (part.Dim3{X: 2, Y: 0, Z: 0}) {
+		t.Errorf("interior +x neighbor = %v ok=%v", nb, ok)
+	}
+	if _, ok := h.NeighborOpen(part.Dim3{X: 0, Y: 0, Z: 0}, part.Dim3{X: 0, Y: 0, Z: 1}); ok {
+		t.Error("z step in a z-extent-1 grid should have no open neighbor")
+	}
+}
+
+func TestNeighborhood18(t *testing.T) {
+	opts := smallOpts(6, CapsAll(), false)
+	opts.Neighborhood = 18
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Plans) != 6*18 {
+		t.Fatalf("plans = %d, want %d", len(e.Plans), 6*18)
+	}
+	// No corner directions in any plan.
+	for _, p := range e.Plans {
+		nz := 0
+		for _, v := range []int{p.Dir.X, p.Dir.Y, p.Dir.Z} {
+			if v != 0 {
+				nz++
+			}
+		}
+		if nz == 3 {
+			t.Fatalf("corner direction %v in 18-neighborhood", p.Dir)
+		}
+	}
+	fillGlobal(e)
+	e.Run(1) // must execute cleanly; corner halos are simply not exchanged
+}
+
+func TestNeighborhoodInvalid(t *testing.T) {
+	opts := smallOpts(6, CapsAll(), false)
+	opts.Neighborhood = 7
+	if _, err := New(opts); err == nil {
+		t.Error("neighborhood 7 accepted")
+	}
+}
+
+func TestThinSubdomainRejected(t *testing.T) {
+	// 6 GPUs over a 12x4x4 domain split [6 1 1] gives 2-cell-thin
+	// subdomains, below radius 3.
+	opts := Options{
+		Nodes:        1,
+		RanksPerNode: 6,
+		Domain:       part.Dim3{X: 12, Y: 4, Z: 4},
+		Radius:       3,
+		Quantities:   1,
+		ElemSize:     4,
+		Caps:         CapsAll(),
+	}
+	if _, err := New(opts); err == nil {
+		t.Error("subdomain thinner than radius accepted")
+	}
+}
+
+func TestSetupTimesRecorded(t *testing.T) {
+	e, err := New(smallOpts(6, CapsAll(), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SetupPlacementWall < 0 || e.SetupPlanWall < 0 {
+		t.Error("negative setup wall times")
+	}
+}

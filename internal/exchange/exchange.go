@@ -1,0 +1,546 @@
+// Package exchange implements the paper's setup phase 3 and the runtime halo
+// exchange (§III-C, §III-D): capability-based selection among the five
+// GPU-GPU transfer methods, per-direction transfer plans, and the overlapped
+// execution of an exchange using sender/receiver state machines.
+//
+// The five methods, selected first-applicable per subdomain pair:
+//
+//	KERNEL           self-exchange via one device kernel (periodic wrap)
+//	PEERMEMCPY       same rank, peer access: pack → cudaMemcpyPeerAsync → unpack
+//	COLOCATEDMEMCPY  same node, different ranks: IPC-opened destination buffer
+//	                 at setup, then pack → peer copy → unpack with no MPI
+//	CUDAAWAREMPI     device buffers passed to MPI (when CUDA-aware enabled)
+//	STAGED           pack → D2H → MPI over host buffers → H2D → unpack
+//
+// All methods are asynchronous; a rank issues every transfer it can, then
+// drives per-message state machines (STAGED and CUDAAWAREMPI need CPU action
+// between their CUDA and MPI phases) until everything completes.
+package exchange
+
+import (
+	"fmt"
+
+	"time"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/halo"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/mpi"
+	"github.com/nodeaware/stencil/internal/nvml"
+	"github.com/nodeaware/stencil/internal/part"
+	"github.com/nodeaware/stencil/internal/placement"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// Method is one of the paper's five transfer methods.
+type Method int
+
+const (
+	MethodKernel Method = iota
+	MethodPeer
+	MethodColocated
+	MethodCudaAware
+	MethodStaged
+	numMethods
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodKernel:
+		return "KERNEL"
+	case MethodPeer:
+		return "PEERMEMCPY"
+	case MethodColocated:
+		return "COLOCATEDMEMCPY"
+	case MethodCudaAware:
+		return "CUDAAWAREMPI"
+	case MethodStaged:
+		return "STAGED"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Capabilities is the paper's incremental capability ladder ("+remote",
+// "+colo", "+peer", "+kernel"). Remote (STAGED or CUDAAWAREMPI) is always
+// available; the others are enabled on top.
+type Capabilities struct {
+	Colocated bool
+	Peer      bool
+	Kernel    bool
+}
+
+// CapsRemote .. CapsAll name the ladder rungs used throughout the figures.
+func CapsRemote() Capabilities { return Capabilities{} }
+func CapsColo() Capabilities   { return Capabilities{Colocated: true} }
+func CapsPeer() Capabilities   { return Capabilities{Colocated: true, Peer: true} }
+func CapsAll() Capabilities    { return Capabilities{Colocated: true, Peer: true, Kernel: true} }
+
+// Options configures an Exchanger.
+type Options struct {
+	Nodes        int
+	RanksPerNode int
+	Domain       part.Dim3
+	Radius       int
+	Quantities   int
+	ElemSize     int
+
+	Caps      Capabilities
+	CUDAAware bool // remote messages use CUDAAWAREMPI instead of STAGED
+	NodeAware bool // QAP placement (true) vs trivial linearized placement
+	RealData  bool // allocate and move real bytes (small domains only)
+
+	// FaceOnly restricts the exchange to the six face neighbors (Fig 1(a)
+	// stencils); default is the full 26-direction neighborhood.
+	FaceOnly bool
+
+	// Neighborhood selects the exchanged direction set by count: 0 (default)
+	// or 26 for the full neighborhood, 6 for faces only (Fig 1(a)), 18 for
+	// faces plus planar diagonals (Fig 1(b)). FaceOnly is shorthand for 6.
+	Neighborhood int
+
+	// OpenBoundary disables periodic wrap-around: subdomains on the domain
+	// boundary simply have no neighbor on that side and exchange nothing
+	// there (the paper evaluates periodic boundaries but notes the
+	// techniques apply to other types, §I).
+	OpenBoundary bool
+
+	// AggregateRemote packs all of a rank pair's inter-node STAGED messages
+	// into a single MPI message per exchange (the paper's §VI idea from
+	// ref [3]: fewer, larger messages).
+	AggregateRemote bool
+
+	// NoOverlap disables the §III-D overlap machinery: each transfer is
+	// driven to completion before the next is issued (ablation baseline).
+	NoOverlap bool
+
+	// EmpiricalPlacement derives the placement distance matrix from a
+	// pairwise transfer microbenchmark instead of the vendor topology query
+	// (§VI: "investigate if empirical measurements provide better results").
+	EmpiricalPlacement bool
+
+	// NodeConfig and Params override the default Summit node and cost model.
+	NodeConfig *machine.NodeConfig
+	Params     *machine.Params
+
+	// FairnessHorizon bounds how far a bandwidth-rebalance propagates in the
+	// flow network (flownet.Network.MaxHops). 0 selects automatically: exact
+	// max-min fairness up to 32 nodes, a 1-hop horizon beyond (within 8% of
+	// exact at 64 nodes, an order of magnitude faster to simulate). Negative
+	// forces exact; positive values are used directly.
+	FairnessHorizon int
+
+	// TraceOps records every CUDA op for Fig 9-style timelines.
+	TraceOps bool
+}
+
+// Sub is one subdomain bound to a GPU.
+type Sub struct {
+	GPURankIdx int       // linearized GPU-space index within the node
+	NodeIdx    part.Dim3 // node-space index
+	GPUIdx     part.Dim3 // GPU-space index
+	Global     part.Dim3 // combined global grid index
+	NodeID     int       // machine node
+	LocalGPU   int       // device within node after placement
+	Rank       int       // owning MPI rank
+	Dev        *cudart.Device
+	Dom        *halo.Domain
+
+	kernelStream *cudart.Stream
+}
+
+// Plan is one direction's transfer between two subdomains.
+type Plan struct {
+	ID     int
+	Src    *Sub
+	Dst    *Sub
+	Dir    part.Dim3
+	Method Method
+	Bytes  int64
+	Tag    int
+
+	devSend, devRecv   *cudart.Buffer
+	hostSend, hostRecv *cudart.Buffer
+	sendStream         *cudart.Stream // on Src.Dev
+	recvStream         *cudart.Stream // on Dst.Dev
+
+	// Aggregated inter-node STAGED messages share one MPI message per rank
+	// pair; aggOffset locates this plan's slice in the group buffers.
+	group     *msgGroup
+	aggOffset int64
+}
+
+// msgGroup is one rank pair's aggregated inter-node message.
+type msgGroup struct {
+	id                 int
+	srcRank, dstRank   int
+	plans              []*Plan
+	hostSend, hostRecv *cudart.Buffer
+	bytes              int64
+	tag                int
+}
+
+// groupState is a msgGroup's per-iteration progress.
+type groupState struct {
+	remaining  int // D2H stagings not yet complete
+	sendDone   *sim.Signal
+	recvDone   *sim.Signal
+	recvPosted bool
+}
+
+// Exchanger owns the full simulated job: machine, runtimes, decomposition,
+// placement, and transfer plans.
+type Exchanger struct {
+	Eng  *sim.Engine
+	M    *machine.Machine
+	RT   *cudart.Runtime
+	W    *mpi.World
+	Hier *part.Hier
+	Opts Options
+
+	Subs  []*Sub // indexed by node rank * gpusPerNode + gpu rank idx
+	Plans []*Plan
+	// Assignments per node (index = node rank), for inspection.
+	Assignments []*placement.Assignment
+
+	gpusPerRank int
+	dirs        []part.Dim3
+	sendDuties  [][]*Plan // per rank
+	recvDuties  [][]*Plan
+
+	// Per-iteration cross-rank rendezvous for COLOCATEDMEMCPY events.
+	slots map[slotKey]*sim.Signal
+
+	// Aggregated inter-node messages (Options.AggregateRemote) and their
+	// per-iteration state.
+	groups      []*msgGroup
+	groupStates map[slotKey]*groupState
+
+	// Trace is populated when Opts.TraceOps is set.
+	Trace []cudart.OpRecord
+
+	// Setup wall-clock costs (host-side, not simulated): the paper's §VI
+	// notes the placement algorithm should have negligible impact when
+	// properly implemented; these make that measurable.
+	SetupPlacementWall time.Duration
+	SetupPlanWall      time.Duration
+}
+
+type slotKey struct {
+	plan int
+	iter int
+}
+
+// New builds the job: machine and runtimes, hierarchical partition, per-node
+// placement, subdomain allocation, and one plan per (subdomain, direction).
+func New(opts Options) (*Exchanger, error) {
+	if opts.Nodes < 1 || opts.RanksPerNode < 1 {
+		return nil, fmt.Errorf("exchange: %d nodes, %d ranks/node", opts.Nodes, opts.RanksPerNode)
+	}
+	if opts.Radius < 1 || opts.Quantities < 1 || opts.ElemSize < 1 {
+		return nil, fmt.Errorf("exchange: bad stencil params r=%d q=%d e=%d", opts.Radius, opts.Quantities, opts.ElemSize)
+	}
+	nodeCfg := machine.SummitNode()
+	if opts.NodeConfig != nil {
+		nodeCfg = *opts.NodeConfig
+	}
+	params := machine.DefaultParams()
+	if opts.Params != nil {
+		params = *opts.Params
+	}
+	gpusPerNode := nodeCfg.GPUs()
+	if gpusPerNode%opts.RanksPerNode != 0 {
+		return nil, fmt.Errorf("exchange: %d GPUs/node not divisible by %d ranks/node", gpusPerNode, opts.RanksPerNode)
+	}
+
+	eng := sim.NewEngine()
+	m := machine.New(eng, opts.Nodes, nodeCfg, params)
+	switch {
+	case opts.FairnessHorizon > 0:
+		m.Net.MaxHops = opts.FairnessHorizon
+	case opts.FairnessHorizon == 0 && opts.Nodes > 32:
+		m.Net.MaxHops = 1
+	}
+	rt := cudart.NewRuntime(m, opts.RealData)
+	w := mpi.NewWorld(m, rt, opts.RanksPerNode, opts.CUDAAware)
+
+	h, err := part.NewHier(opts.Domain, opts.Nodes, gpusPerNode)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Exchanger{
+		Eng:         eng,
+		M:           m,
+		RT:          rt,
+		W:           w,
+		Hier:        h,
+		Opts:        opts,
+		gpusPerRank: gpusPerNode / opts.RanksPerNode,
+		slots:       make(map[slotKey]*sim.Signal),
+		groupStates: make(map[slotKey]*groupState),
+	}
+	nbhd := opts.Neighborhood
+	if opts.FaceOnly {
+		nbhd = 6
+	}
+	switch nbhd {
+	case 0, 26:
+		e.dirs = part.Directions26()
+	case 6:
+		e.dirs = part.Directions6()
+	case 18:
+		e.dirs = part.Directions18()
+	default:
+		return nil, fmt.Errorf("exchange: neighborhood %d (want 6, 18, or 26)", nbhd)
+	}
+	if opts.TraceOps {
+		rt.OnOp = func(r cudart.OpRecord) { e.Trace = append(e.Trace, r) }
+	}
+
+	setupStart := time.Now()
+	e.place()
+	e.SetupPlacementWall = time.Since(setupStart)
+
+	planStart := time.Now()
+	e.buildPlans()
+	e.SetupPlanWall = time.Since(planStart)
+
+	// A halo exchange reads a send region radius cells deep; a subdomain
+	// thinner than the radius would silently pack stale halo bytes.
+	for _, s := range e.Subs {
+		sz := s.Dom.Size
+		if sz.X < opts.Radius || sz.Y < opts.Radius || sz.Z < opts.Radius {
+			return nil, fmt.Errorf("exchange: subdomain %v size %v thinner than radius %d; use fewer partitions or a larger domain",
+				s.Global, sz, opts.Radius)
+		}
+	}
+	return e, nil
+}
+
+// place runs phase 2 on every node and materializes the subdomains.
+func (e *Exchanger) place() {
+	gpusPerNode := e.M.Nodes[0].Config.GPUs()
+	e.Subs = make([]*Sub, e.Opts.Nodes*gpusPerNode)
+	// With empirical placement the bandwidth matrix comes from a pairwise
+	// transfer microbenchmark run once at startup (nodes are identical, so
+	// node 0's measurement serves all).
+	var measured *nvml.Topology
+	if e.Opts.EmpiricalPlacement {
+		measured = nvml.MeasureBandwidth(e.RT, 0, 64<<20)
+	}
+	for n := 0; n < e.Opts.Nodes; n++ {
+		nodeIdx := e.Hier.NodeIndex(n)
+		topo := nvml.Discover(e.M.Nodes[n])
+		if measured != nil {
+			topo = measured
+		}
+		asgn := placement.PlaceBoundary(e.Hier, nodeIdx, topo.Bandwidth,
+			e.Opts.Radius, e.Opts.Quantities, e.Opts.ElemSize, e.Opts.NodeAware, e.Opts.OpenBoundary)
+		e.Assignments = append(e.Assignments, asgn)
+		for s := 0; s < gpusPerNode; s++ {
+			gpuIdx := e.Hier.GPUIndex(s)
+			_, size := e.Hier.Subdomain(nodeIdx, gpuIdx)
+			local := asgn.SubToGPU[s]
+			sub := &Sub{
+				GPURankIdx: s,
+				NodeIdx:    nodeIdx,
+				GPUIdx:     gpuIdx,
+				Global:     e.Hier.GlobalIndex(nodeIdx, gpuIdx),
+				NodeID:     n,
+				LocalGPU:   local,
+				Rank:       n*e.Opts.RanksPerNode + local/e.gpusPerRank,
+				Dev:        e.RT.DeviceAt(n, local),
+				Dom:        halo.NewDomain(size, e.Opts.Radius, e.Opts.Quantities, e.Opts.ElemSize, e.Opts.RealData),
+			}
+			sub.kernelStream = sub.Dev.NewStream(fmt.Sprintf("sub%d.kernel", n*gpusPerNode+s))
+			e.Subs[n*gpusPerNode+s] = sub
+		}
+	}
+}
+
+// subAt returns the subdomain at a global grid index.
+func (e *Exchanger) subAt(global part.Dim3) *Sub {
+	nodeIdx, gpuIdx := e.Hier.Split(global)
+	n := e.Hier.NodeRank(nodeIdx)
+	gpusPerNode := e.M.Nodes[0].Config.GPUs()
+	return e.Subs[n*gpusPerNode+e.Hier.GPURank(gpuIdx)]
+}
+
+// pickMethod applies the paper's first-applicable selection (§III-C).
+func (e *Exchanger) pickMethod(src, dst *Sub) Method {
+	caps := e.Opts.Caps
+	switch {
+	case src == dst && caps.Kernel:
+		return MethodKernel
+	case src.Rank == dst.Rank && caps.Peer:
+		return MethodPeer
+	case src.NodeID == dst.NodeID && src.Rank != dst.Rank && caps.Colocated:
+		return MethodColocated
+	case e.Opts.CUDAAware:
+		return MethodCudaAware
+	default:
+		return MethodStaged
+	}
+}
+
+// buildPlans creates one plan per (subdomain, direction), allocating staging
+// buffers and streams, enabling peer access, and performing the one-time
+// cudaIpc handle exchange for COLOCATEDMEMCPY (all during setup, which the
+// paper excludes from exchange timing).
+func (e *Exchanger) buildPlans() {
+	for si, src := range e.Subs {
+		for di, dir := range e.dirs {
+			var nb part.Dim3
+			if e.Opts.OpenBoundary {
+				var ok bool
+				nb, ok = e.Hier.NeighborOpen(src.Global, dir)
+				if !ok {
+					continue // domain boundary: nothing to exchange
+				}
+			} else {
+				nb = e.Hier.Neighbor(src.Global, dir)
+			}
+			dst := e.subAt(nb)
+			p := &Plan{
+				ID:     len(e.Plans),
+				Src:    src,
+				Dst:    dst,
+				Dir:    dir,
+				Method: e.pickMethod(src, dst),
+				Bytes:  src.Dom.HaloBytes(dir),
+				Tag:    si*64 + di,
+			}
+			e.preparePlan(p)
+			e.Plans = append(e.Plans, p)
+		}
+	}
+	if e.Opts.AggregateRemote {
+		e.buildGroups()
+	}
+}
+
+// buildGroups collects inter-node STAGED plans into one aggregated message
+// per rank pair (§VI / ref [3]: fewer, larger MPI messages) and allocates
+// the shared host buffers.
+func (e *Exchanger) buildGroups() {
+	byPair := make(map[[2]int]*msgGroup)
+	var order [][2]int
+	for _, p := range e.Plans {
+		if p.Method != MethodStaged || p.Src.NodeID == p.Dst.NodeID {
+			continue
+		}
+		key := [2]int{p.Src.Rank, p.Dst.Rank}
+		g, ok := byPair[key]
+		if !ok {
+			g = &msgGroup{
+				id:      len(order),
+				srcRank: p.Src.Rank,
+				dstRank: p.Dst.Rank,
+				tag:     len(e.Subs)*64 + len(order),
+			}
+			byPair[key] = g
+			order = append(order, key)
+			e.groups = append(e.groups, g)
+		}
+		p.group = g
+		p.aggOffset = g.bytes
+		g.bytes += p.Bytes
+		g.plans = append(g.plans, p)
+		// The per-plan host staging buffers are replaced by the group's.
+		p.hostSend, p.hostRecv = nil, nil
+	}
+	for _, g := range e.groups {
+		srcRank := e.W.Rank(g.srcRank)
+		dstRank := e.W.Rank(g.dstRank)
+		g.hostSend = e.RT.MallocHost(srcRank.Node, srcRank.Socket, g.bytes)
+		g.hostRecv = e.RT.MallocHost(dstRank.Node, dstRank.Socket, g.bytes)
+	}
+}
+
+// groupState returns the per-(group, iteration) progress record, creating it
+// on first touch by either side.
+func (e *Exchanger) groupStateOf(g *msgGroup, iter int) *groupState {
+	k := slotKey{g.id, iter}
+	if gs, ok := e.groupStates[k]; ok {
+		return gs
+	}
+	gs := &groupState{
+		remaining: len(g.plans),
+		sendDone:  sim.NewSignal(e.Eng, fmt.Sprintf("grp%d.i%d.send", g.id, iter)),
+		recvDone:  sim.NewSignal(e.Eng, fmt.Sprintf("grp%d.i%d.recv", g.id, iter)),
+	}
+	e.groupStates[k] = gs
+	return gs
+}
+
+func (e *Exchanger) preparePlan(p *Plan) {
+	name := fmt.Sprintf("p%d", p.ID)
+	switch p.Method {
+	case MethodKernel:
+		// No buffers or extra streams: one kernel on the sub's stream.
+	case MethodPeer, MethodColocated:
+		p.devSend = p.Src.Dev.Malloc(p.Bytes)
+		p.devRecv = p.Dst.Dev.Malloc(p.Bytes)
+		p.sendStream = p.Src.Dev.NewStream(name + ".send")
+		p.recvStream = p.Dst.Dev.NewStream(name + ".recv")
+		if p.Src.Dev != p.Dst.Dev {
+			// Peer access both directions (copy + completion visibility).
+			_ = p.Src.Dev.EnablePeerAccess(p.Dst.Dev)
+			_ = p.Dst.Dev.EnablePeerAccess(p.Src.Dev)
+		}
+		// For COLOCATEDMEMCPY the devRecv pointer crosses the process
+		// boundary via cudaIpcGetMemHandle/OpenMemHandle once, here in
+		// setup; exchanges then never touch MPI.
+	case MethodCudaAware:
+		p.devSend = p.Src.Dev.Malloc(p.Bytes)
+		p.devRecv = p.Dst.Dev.Malloc(p.Bytes)
+		p.sendStream = p.Src.Dev.NewStream(name + ".send")
+		p.recvStream = p.Dst.Dev.NewStream(name + ".recv")
+	case MethodStaged:
+		p.devSend = p.Src.Dev.Malloc(p.Bytes)
+		p.devRecv = p.Dst.Dev.Malloc(p.Bytes)
+		srcRank := e.W.Rank(p.Src.Rank)
+		dstRank := e.W.Rank(p.Dst.Rank)
+		p.hostSend = e.RT.MallocHost(p.Src.NodeID, srcRank.Socket, p.Bytes)
+		p.hostRecv = e.RT.MallocHost(p.Dst.NodeID, dstRank.Socket, p.Bytes)
+		p.sendStream = p.Src.Dev.NewStream(name + ".send")
+		p.recvStream = p.Dst.Dev.NewStream(name + ".recv")
+	}
+}
+
+// slot returns the per-(plan, iteration) rendezvous signal used by
+// COLOCATEDMEMCPY: the sender fires it when its peer copy lands; the
+// receiver's unpack waits on it (the shared cudaIpc event).
+func (e *Exchanger) slot(plan, iter int) *sim.Signal {
+	k := slotKey{plan, iter}
+	if s, ok := e.slots[k]; ok {
+		return s
+	}
+	s := sim.NewSignal(e.Eng, fmt.Sprintf("slot.p%d.i%d", plan, iter))
+	e.slots[k] = s
+	return s
+}
+
+func neg(d part.Dim3) part.Dim3 { return part.Dim3{X: -d.X, Y: -d.Y, Z: -d.Z} }
+
+// PlacementImprovement returns the relative QAP-cost reduction of the chosen
+// placement versus the trivial linearized one for the given node: 0 when
+// trivial is already optimal (or placement is disabled).
+func (e *Exchanger) PlacementImprovement(node int) float64 {
+	nodeIdx := e.Hier.NodeIndex(node)
+	topo := nvml.Discover(e.M.Nodes[node])
+	w := placement.FlowMatrixBoundary(e.Hier, nodeIdx, e.Opts.Radius, e.Opts.Quantities, e.Opts.ElemSize, e.Opts.OpenBoundary)
+	d := placement.DistanceMatrix(topo.Bandwidth)
+	return placement.Improvement(w, d, e.Assignments[node])
+}
+
+// MethodOf reports the method selected for the exchange from the subdomain
+// at global index g in direction dir (testing/inspection helper).
+func (e *Exchanger) MethodOf(g, dir part.Dim3) Method {
+	for _, p := range e.Plans {
+		if p.Src.Global == g && p.Dir == dir {
+			return p.Method
+		}
+	}
+	panic(fmt.Sprintf("exchange: no plan for %v dir %v", g, dir))
+}

@@ -1,0 +1,247 @@
+package exchange
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+// multiNodeOpts builds a real-data two-node configuration so inter-node
+// STAGED messages exist.
+func multiNodeOpts() Options {
+	return Options{
+		Nodes:        2,
+		RanksPerNode: 6,
+		Domain:       part.Dim3{X: 24, Y: 24, Z: 24},
+		Radius:       1,
+		Quantities:   2,
+		ElemSize:     4,
+		Caps:         CapsAll(),
+		NodeAware:    true,
+		RealData:     true,
+	}
+}
+
+func TestAggregateRemoteCorrectness(t *testing.T) {
+	opts := multiNodeOpts()
+	opts.AggregateRemote = true
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.groups) == 0 {
+		t.Fatal("no aggregated groups built for a two-node job")
+	}
+	fillGlobal(e)
+	e.Run(2)
+	verifyHalos(t, e)
+}
+
+func TestAggregateRemoteGrouping(t *testing.T) {
+	opts := multiNodeOpts()
+	opts.AggregateRemote = true
+	opts.RealData = false
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int]bool)
+	var groupedPlans, groupedBytes int64
+	for _, g := range e.groups {
+		key := [2]int{g.srcRank, g.dstRank}
+		if seen[key] {
+			t.Errorf("rank pair %v has two groups", key)
+		}
+		seen[key] = true
+		if g.srcRank == g.dstRank {
+			t.Error("self-pair group")
+		}
+		var sum int64
+		for _, p := range g.plans {
+			if p.group != g {
+				t.Error("plan group back-pointer wrong")
+			}
+			if p.Method != MethodStaged || p.Src.NodeID == p.Dst.NodeID {
+				t.Error("non-remote-staged plan in group")
+			}
+			sum += p.Bytes
+			groupedPlans++
+		}
+		if sum != g.bytes {
+			t.Errorf("group bytes %d != plan sum %d", g.bytes, sum)
+		}
+		groupedBytes += g.bytes
+		if g.hostSend.Size() != g.bytes || g.hostRecv.Size() != g.bytes {
+			t.Error("group buffer sizes wrong")
+		}
+	}
+	// Every inter-node staged plan must be grouped.
+	for _, p := range e.Plans {
+		if p.Method == MethodStaged && p.Src.NodeID != p.Dst.NodeID && p.group == nil {
+			t.Error("ungrouped inter-node staged plan")
+		}
+		// Intra-node and non-staged plans must not be grouped.
+		if p.group != nil && (p.Method != MethodStaged || p.Src.NodeID == p.Dst.NodeID) {
+			t.Error("grouped plan that should not be")
+		}
+	}
+	if groupedPlans == 0 || groupedBytes == 0 {
+		t.Error("aggregation grouped nothing")
+	}
+}
+
+func TestAggregateReducesMessageCount(t *testing.T) {
+	// The point of aggregation: drastically fewer MPI messages. Count
+	// logical sends: ungrouped = one per inter-node plan, grouped = one per
+	// rank pair.
+	opts := multiNodeOpts()
+	opts.RealData = false
+	opts.Caps = CapsRemote() // everything staged
+	base, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interNode := 0
+	for _, p := range base.Plans {
+		if p.Src.NodeID != p.Dst.NodeID {
+			interNode++
+		}
+	}
+	opts.AggregateRemote = true
+	agg, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.groups) >= interNode {
+		t.Errorf("aggregation produced %d messages for %d plans", len(agg.groups), interNode)
+	}
+	t.Logf("inter-node messages: %d plans -> %d aggregated", interNode, len(agg.groups))
+}
+
+func TestNoOverlapCorrectnessAndSlowdown(t *testing.T) {
+	opts := multiNodeOpts()
+	opts.NoOverlap = true
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGlobal(e)
+	e.Run(1)
+	verifyHalos(t, e)
+
+	// Performance: serial transfers must be slower than overlapped on a
+	// meaningful single-node workload (§III-D: overlap is crucial).
+	run := func(noOverlap bool) float64 {
+		o := Options{
+			Nodes:        1,
+			RanksPerNode: 6,
+			Domain:       part.Dim3{X: 1362, Y: 1362, Z: 1362},
+			Radius:       2,
+			Quantities:   4,
+			ElemSize:     4,
+			Caps:         CapsAll(),
+			NodeAware:    true,
+			NoOverlap:    noOverlap,
+		}
+		ex, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Run(2).Min()
+	}
+	serial := run(true)
+	overlapped := run(false)
+	t.Logf("overlapped=%.3fms serial=%.3fms (%.1fx)", overlapped*1e3, serial*1e3, serial/overlapped)
+	if serial <= overlapped {
+		t.Errorf("serial exchange (%.4f) should be slower than overlapped (%.4f)", serial, overlapped)
+	}
+}
+
+func TestEmpiricalPlacementWorks(t *testing.T) {
+	opts := Options{
+		Nodes:              1,
+		RanksPerNode:       6,
+		Domain:             part.Dim3{X: 1440, Y: 1452, Z: 700},
+		Radius:             2,
+		Quantities:         4,
+		ElemSize:           4,
+		Caps:               CapsAll(),
+		NodeAware:          true,
+		EmpiricalPlacement: true,
+	}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(2)
+	if st.Min() <= 0 {
+		t.Fatal("no exchange time")
+	}
+	// On this machine model the measured matrix preserves the NVLink >> SYS
+	// ordering, so the empirical QAP should pick an assignment as good as
+	// the theoretical one.
+	theo, err := New(Options{
+		Nodes: 1, RanksPerNode: 6, Domain: opts.Domain,
+		Radius: 2, Quantities: 4, ElemSize: 4, Caps: CapsAll(), NodeAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := theo.Run(2)
+	ratio := st.Min() / ts.Min()
+	if ratio > 1.05 || ratio < 0.95 {
+		t.Errorf("empirical placement time differs from theoretical by %.2fx", ratio)
+	}
+}
+
+func TestFairnessHorizonOption(t *testing.T) {
+	run := func(horizon int) float64 {
+		o := multiNodeOpts()
+		o.RealData = false
+		o.FairnessHorizon = horizon
+		e, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(1).Min()
+	}
+	exact := run(-1)
+	bounded := run(1)
+	if exact <= 0 || bounded <= 0 {
+		t.Fatal("no time measured")
+	}
+	// The bounded-horizon approximation stays close to exact on a small job.
+	ratio := bounded / exact
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("bounded horizon deviates %.2fx from exact", ratio)
+	}
+}
+
+func TestAggregatedExchangeFasterAtScaleOrClose(t *testing.T) {
+	// Aggregation trades pipelining for fewer messages; with our message
+	// sizes it should not be dramatically slower, and message count drops.
+	run := func(agg bool) float64 {
+		o := Options{
+			Nodes:           4,
+			RanksPerNode:    6,
+			Domain:          part.Dim3{X: 2163, Y: 2163, Z: 2163},
+			Radius:          2,
+			Quantities:      4,
+			ElemSize:        4,
+			Caps:            CapsAll(),
+			NodeAware:       true,
+			AggregateRemote: agg,
+		}
+		e, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(1).Min()
+	}
+	plain := run(false)
+	agg := run(true)
+	t.Logf("4-node exchange: plain=%.3fms aggregated=%.3fms", plain*1e3, agg*1e3)
+	if agg > plain*1.5 {
+		t.Errorf("aggregation catastrophically slower: %.4f vs %.4f", agg, plain)
+	}
+}

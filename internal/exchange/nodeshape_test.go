@@ -1,0 +1,84 @@
+package exchange
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+// TestCustomNodeShapes runs end-to-end real-data exchanges on the
+// non-default node shapes, including the 16-GPU FatNode, which takes the
+// heuristic QAP path (16! permutations are far beyond exhaustive search).
+func TestCustomNodeShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cfg   machine.NodeConfig
+		ranks int
+	}{
+		{"sierra-2x2", machine.SierraNode(), 4},
+		{"dgx-2x4", machine.DGXNode(), 8},
+		{"dgx-1rank", machine.DGXNode(), 1},
+		{"fat-2x8", machine.FatNode(), 16},
+		{"fat-2ranks", machine.FatNode(), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			opts := Options{
+				Nodes:        1,
+				RanksPerNode: tc.ranks,
+				Domain:       part.Dim3{X: 32, Y: 32, Z: 32},
+				Radius:       1,
+				Quantities:   1,
+				ElemSize:     4,
+				Caps:         CapsAll(),
+				NodeAware:    true,
+				RealData:     true,
+				NodeConfig:   &cfg,
+			}
+			e, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(e.Subs) != cfg.GPUs() {
+				t.Fatalf("subs = %d, want %d", len(e.Subs), cfg.GPUs())
+			}
+			fillGlobal(e)
+			st := e.Run(1)
+			if st.Min() <= 0 {
+				t.Error("no exchange time")
+			}
+			verifyHalos(t, e)
+		})
+	}
+}
+
+// TestFatNodePlacementBeatsTrivial checks that the heuristic placement still
+// improves over trivial on a high-aspect domain with 16 GPUs per node.
+func TestFatNodePlacementBeatsTrivial(t *testing.T) {
+	run := func(aware bool) float64 {
+		cfg := machine.FatNode()
+		opts := Options{
+			Nodes:        1,
+			RanksPerNode: 16,
+			Domain:       part.Dim3{X: 3840, Y: 968, Z: 700}, // high aspect
+			Radius:       2,
+			Quantities:   4,
+			ElemSize:     4,
+			Caps:         CapsAll(),
+			NodeAware:    aware,
+			NodeConfig:   &cfg,
+		}
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(2).Min()
+	}
+	aware := run(true)
+	trivial := run(false)
+	t.Logf("16-GPU node: aware=%.3fms trivial=%.3fms (%.2fx)", aware*1e3, trivial*1e3, trivial/aware)
+	if aware > trivial*1.001 {
+		t.Errorf("heuristic placement (%.4f) worse than trivial (%.4f)", aware, trivial)
+	}
+}

@@ -1,0 +1,130 @@
+package exchange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LinkClass classifies which part of the machine a plan's payload crosses,
+// for traffic analysis (which is what the placement phase optimizes).
+type LinkClass int
+
+const (
+	// ClassSameGPU: self-exchange, never leaves device memory.
+	ClassSameGPU LinkClass = iota
+	// ClassNVLink: direct GPU-GPU within a triad.
+	ClassNVLink
+	// ClassXBus: crosses the socket-to-socket SMP bus.
+	ClassXBus
+	// ClassHost: staged through host memory within a node.
+	ClassHost
+	// ClassNIC: leaves the node.
+	ClassNIC
+	numClasses
+)
+
+func (c LinkClass) String() string {
+	switch c {
+	case ClassSameGPU:
+		return "same-GPU"
+	case ClassNVLink:
+		return "NVLink"
+	case ClassXBus:
+		return "X-Bus"
+	case ClassHost:
+		return "host-staged"
+	case ClassNIC:
+		return "NIC"
+	}
+	return fmt.Sprintf("LinkClass(%d)", int(c))
+}
+
+// classOf determines the traffic class of a plan from its endpoints and
+// method.
+func (e *Exchanger) classOf(p *Plan) LinkClass {
+	switch {
+	case p.Src.NodeID != p.Dst.NodeID:
+		return ClassNIC
+	case p.Method == MethodStaged:
+		// Intra-node but staged through pinned host buffers.
+		return ClassHost
+	case p.Src.Dev == p.Dst.Dev:
+		return ClassSameGPU
+	case e.M.Nodes[p.Src.NodeID].SameTriad(p.Src.LocalGPU, p.Dst.LocalGPU):
+		return ClassNVLink
+	default:
+		return ClassXBus
+	}
+}
+
+// StagingBytes returns the library's memory overhead: the total size of all
+// device and pinned-host staging buffers allocated for the transfer plans
+// (the domains themselves excluded).
+func (e *Exchanger) StagingBytes() (device, host int64) {
+	for _, p := range e.Plans {
+		if p.devSend != nil {
+			device += p.devSend.Size()
+		}
+		if p.devRecv != nil {
+			device += p.devRecv.Size()
+		}
+		if p.hostSend != nil {
+			host += p.hostSend.Size()
+		}
+		if p.hostRecv != nil {
+			host += p.hostRecv.Size()
+		}
+	}
+	for _, g := range e.groups {
+		host += g.hostSend.Size() + g.hostRecv.Size()
+	}
+	return device, host
+}
+
+// TrafficReport breaks the per-exchange bytes down by link class.
+type TrafficReport struct {
+	Bytes map[LinkClass]int64
+	Plans map[LinkClass]int
+}
+
+// Traffic computes the per-exchange traffic report for the current plans.
+func (e *Exchanger) Traffic() *TrafficReport {
+	r := &TrafficReport{
+		Bytes: make(map[LinkClass]int64),
+		Plans: make(map[LinkClass]int),
+	}
+	for _, p := range e.Plans {
+		c := e.classOf(p)
+		r.Bytes[c] += p.Bytes
+		r.Plans[c]++
+	}
+	return r
+}
+
+// Total returns the total bytes per exchange.
+func (r *TrafficReport) Total() int64 {
+	var t int64
+	for _, b := range r.Bytes {
+		t += b
+	}
+	return t
+}
+
+// String renders the report sorted by class.
+func (r *TrafficReport) String() string {
+	var classes []LinkClass
+	for c := LinkClass(0); c < numClasses; c++ {
+		if r.Plans[c] > 0 {
+			classes = append(classes, c)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var b strings.Builder
+	total := r.Total()
+	for _, c := range classes {
+		fmt.Fprintf(&b, "%-12s %6d plans %10.1f MB (%4.1f%%)\n",
+			c, r.Plans[c], float64(r.Bytes[c])/1e6, 100*float64(r.Bytes[c])/float64(total))
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package exchange
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+func TestTrafficReportSingleNode(t *testing.T) {
+	opts := smallOpts(6, CapsAll(), false)
+	opts.RealData = false
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Traffic()
+	if r.Bytes[ClassNIC] != 0 {
+		t.Error("single-node job reports NIC traffic")
+	}
+	if r.Bytes[ClassNVLink] <= 0 {
+		t.Error("no NVLink traffic on a fully specialized node")
+	}
+	if r.Bytes[ClassHost] != 0 {
+		t.Error("fully specialized node still stages through the host")
+	}
+	totalPlans := 0
+	for _, c := range r.Plans {
+		totalPlans += c
+	}
+	if totalPlans != len(e.Plans) {
+		t.Errorf("plan accounting %d != %d", totalPlans, len(e.Plans))
+	}
+	if r.Total() <= 0 {
+		t.Error("no bytes accounted")
+	}
+	s := r.String()
+	if !strings.Contains(s, "NVLink") {
+		t.Errorf("report rendering missing NVLink:\n%s", s)
+	}
+}
+
+func TestTrafficReportStagedVsSpecialized(t *testing.T) {
+	base := smallOpts(6, CapsRemote(), false)
+	base.RealData = false
+	staged, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := staged.Traffic()
+	// Remote-only single node: everything is host-staged.
+	if rs.Bytes[ClassHost] != rs.Total() {
+		t.Errorf("remote-only traffic not all host-staged: %v", rs.Bytes)
+	}
+}
+
+func TestTrafficReportMultiNode(t *testing.T) {
+	opts := Options{
+		Nodes:        2,
+		RanksPerNode: 6,
+		Domain:       part.Dim3{X: 24, Y: 24, Z: 24},
+		Radius:       1,
+		Quantities:   1,
+		ElemSize:     4,
+		Caps:         CapsAll(),
+		NodeAware:    true,
+	}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Traffic()
+	if r.Bytes[ClassNIC] <= 0 {
+		t.Error("two-node job reports no NIC traffic")
+	}
+	// The hierarchical partition should keep NIC bytes well below half of
+	// total (only one split axis crosses nodes).
+	if r.Bytes[ClassNIC]*2 >= r.Total()*2 {
+		t.Errorf("NIC bytes %d implausibly high of total %d", r.Bytes[ClassNIC], r.Total())
+	}
+	if ClassNIC.String() != "NIC" || ClassSameGPU.String() != "same-GPU" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestStagingBytes(t *testing.T) {
+	opts := smallOpts(6, CapsAll(), false)
+	opts.RealData = false
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, host := e.StagingBytes()
+	if dev <= 0 {
+		t.Error("no device staging accounted")
+	}
+	// Fully specialized single node: no host staging buffers at all.
+	if host != 0 {
+		t.Errorf("host staging %d on a fully specialized node", host)
+	}
+	// Remote-only: host staging appears and device send/recv persists.
+	opts.Caps = CapsRemote()
+	e2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2, host2 := e2.StagingBytes()
+	if host2 <= 0 || dev2 <= 0 {
+		t.Errorf("staged config staging = dev %d host %d", dev2, host2)
+	}
+	// Device staging is bounded by 2x total exchange bytes (send+recv).
+	r := e2.Traffic()
+	if dev2 != 2*r.Total() {
+		t.Errorf("device staging %d != 2x exchange bytes %d", dev2, 2*r.Total())
+	}
+}
+
+func TestStagingBytesAggregated(t *testing.T) {
+	opts := multiNodeOpts()
+	opts.RealData = false
+	opts.Caps = CapsRemote()
+	plain, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.AggregateRemote = true
+	agg, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hostPlain := plain.StagingBytes()
+	_, hostAgg := agg.StagingBytes()
+	// Aggregation replaces per-plan host buffers with per-pair buffers of
+	// equal total payload, so host staging must not grow.
+	if hostAgg > hostPlain {
+		t.Errorf("aggregated host staging %d > per-plan %d", hostAgg, hostPlain)
+	}
+}

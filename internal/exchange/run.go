@@ -1,0 +1,327 @@
+package exchange
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/mpi"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// step is one state of a sender/receiver state machine (§III-D): when sig
+// fires, next runs on the owning rank's CPU (charging its costs) and returns
+// the successor state, or nil when the machine is done.
+type step struct {
+	sig  *sim.Signal
+	next func(p *sim.Proc) *step
+}
+
+// senderSteps issues the send side of a plan and returns the state machines
+// the rank must drive to completion. Pure-CUDA methods return a single
+// terminal step (their chain lives entirely on streams); MPI-coupled methods
+// return multi-state machines.
+func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
+	rt := e.RT
+	switch pl.Method {
+	case MethodKernel:
+		// One kernel moves the wrapped halo inside device memory; no pack
+		// or unpack (lowest-overhead method).
+		rt.LaunchCost(p)
+		done := pl.Src.kernelStream.Kernel(
+			fmt.Sprintf("kernelex.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Src.Dom.SelfExchange(pl.Dir) })
+		return []*step{{sig: done}}
+
+	case MethodPeer:
+		// pack -> cudaMemcpyPeerAsync -> unpack; the whole chain is CUDA
+		// ops, ordered by streams and an event dependency.
+		rt.LaunchCost(p)
+		pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
+		rt.IssueCost(p)
+		cp := pl.sendStream.MemcpyPeerAsync(fmt.Sprintf("peercp.p%d", pl.ID),
+			pl.devRecv, 0, pl.devSend, 0, pl.Bytes)
+		rt.LaunchCost(p)
+		up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) }, cp)
+		return []*step{{sig: up}}
+
+	case MethodColocated:
+		// The destination buffer was IPC-opened at setup; the copy goes
+		// straight into the receiving rank's device memory and a shared
+		// event (the slot) tells the receiver it landed.
+		slot := e.slot(pl.ID, iter)
+		rt.LaunchCost(p)
+		pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
+		rt.IssueCost(p)
+		cp := pl.sendStream.MemcpyPeerAsync(fmt.Sprintf("colocp.p%d", pl.ID),
+			pl.devRecv, 0, pl.devSend, 0, pl.Bytes)
+		cp.OnFire(slot.Fire)
+		return []*step{{sig: cp}}
+
+	case MethodStaged:
+		// pack -> D2H on the stream; once staged, the CPU hands the host
+		// buffer to MPI_Isend (second state). Aggregated plans stage into
+		// the rank pair's shared buffer; the last staging triggers one
+		// combined Isend.
+		rt.LaunchCost(p)
+		pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
+		rt.IssueCost(p)
+		if g := pl.group; g != nil {
+			d2h := pl.sendStream.MemcpyAsync(fmt.Sprintf("d2h.p%d", pl.ID),
+				g.hostSend, pl.aggOffset, pl.devSend, 0, pl.Bytes)
+			return []*step{{sig: d2h, next: func(p *sim.Proc) *step {
+				gs := e.groupStateOf(g, iter)
+				gs.remaining--
+				if gs.remaining > 0 {
+					// Only the final staging carries the chain forward;
+					// waiting here per-plan would deadlock the serial
+					// (NoOverlap) driver before the group ever sends.
+					return nil
+				}
+				req := e.W.Rank(g.srcRank).Isend(g.dstRank, g.tag, g.hostSend, 0, g.bytes)
+				req.Done().OnFire(gs.sendDone.Fire)
+				return &step{sig: gs.sendDone}
+			}}}
+		}
+		d2h := pl.sendStream.MemcpyAsync(fmt.Sprintf("d2h.p%d", pl.ID),
+			pl.hostSend, 0, pl.devSend, 0, pl.Bytes)
+		return []*step{{sig: d2h, next: func(p *sim.Proc) *step {
+			req := e.W.Rank(pl.Src.Rank).Isend(pl.Dst.Rank, pl.Tag, pl.hostSend, 0, pl.Bytes)
+			return &step{sig: req.Done()}
+		}}}
+
+	case MethodCudaAware:
+		// pack on the stream; once packed, the device buffer goes straight
+		// to MPI (which internally serializes on the default stream).
+		rt.LaunchCost(p)
+		pack := pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
+		return []*step{{sig: pack, next: func(p *sim.Proc) *step {
+			req := e.W.Rank(pl.Src.Rank).Isend(pl.Dst.Rank, pl.Tag, pl.devSend, 0, pl.Bytes)
+			return &step{sig: req.Done()}
+		}}}
+	}
+	panic("exchange: unknown method")
+}
+
+// recverSteps issues the receive side of a plan for methods that need one.
+func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
+	rt := e.RT
+	switch pl.Method {
+	case MethodKernel, MethodPeer:
+		return nil // handled entirely by the sender's rank (same process)
+
+	case MethodColocated:
+		slot := e.slot(pl.ID, iter)
+		if e.Opts.NoOverlap {
+			// Serial mode must not pre-enqueue stream work gated on another
+			// rank's future copy: a CUDA-aware transfer's device-wide
+			// synchronization could then wait on an event that only fires
+			// after this rank unblocks — a deadlock. Wait on the CPU
+			// instead, then launch the unpack.
+			return []*step{{sig: slot, next: func(p *sim.Proc) *step {
+				rt.LaunchCost(p)
+				up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+					func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
+				return &step{sig: up}
+			}}}
+		}
+		// Pre-launch the unpack gated on the shared IPC event; the stream
+		// waits, the CPU does not.
+		rt.LaunchCost(p)
+		up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) }, slot)
+		return []*step{{sig: up}}
+
+	case MethodStaged:
+		if g := pl.group; g != nil {
+			gs := e.groupStateOf(g, iter)
+			if !gs.recvPosted {
+				gs.recvPosted = true
+				req := e.W.Rank(g.dstRank).Irecv(g.srcRank, g.tag, g.hostRecv, 0, g.bytes)
+				req.Done().OnFire(gs.recvDone.Fire)
+			}
+			return []*step{{sig: gs.recvDone, next: func(p *sim.Proc) *step {
+				rt.IssueCost(p)
+				pl.recvStream.MemcpyAsync(fmt.Sprintf("h2d.p%d", pl.ID),
+					pl.devRecv, 0, g.hostRecv, pl.aggOffset, pl.Bytes)
+				rt.LaunchCost(p)
+				up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+					func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
+				return &step{sig: up}
+			}}}
+		}
+		req := e.W.Rank(pl.Dst.Rank).Irecv(pl.Src.Rank, pl.Tag, pl.hostRecv, 0, pl.Bytes)
+		return []*step{{sig: req.Done(), next: func(p *sim.Proc) *step {
+			rt.IssueCost(p)
+			pl.recvStream.MemcpyAsync(fmt.Sprintf("h2d.p%d", pl.ID),
+				pl.devRecv, 0, pl.hostRecv, 0, pl.Bytes)
+			rt.LaunchCost(p)
+			up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+				func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
+			return &step{sig: up}
+		}}}
+
+	case MethodCudaAware:
+		req := e.W.Rank(pl.Dst.Rank).Irecv(pl.Src.Rank, pl.Tag, pl.devRecv, 0, pl.Bytes)
+		return []*step{{sig: req.Done(), next: func(p *sim.Proc) *step {
+			rt.LaunchCost(p)
+			up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+				func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
+			return &step{sig: up}
+		}}}
+	}
+	panic("exchange: unknown method")
+}
+
+// runIteration performs one full halo exchange from the perspective of one
+// rank: issue all receive sides, then all send sides, then drive every state
+// machine until completion (§III-D's poll loop).
+func (e *Exchanger) runIteration(p *sim.Proc, rank, iter int) {
+	if e.Opts.NoOverlap {
+		e.runIterationSerial(p, rank, iter)
+		return
+	}
+	var active []*step
+	// Receives first so no send can block on an unposted receive.
+	for _, pl := range e.recvDutiesOf(rank) {
+		active = append(active, e.recverSteps(p, pl, iter)...)
+	}
+	for _, pl := range e.sendDutiesOf(rank) {
+		active = append(active, e.senderSteps(p, pl, iter)...)
+	}
+	for len(active) > 0 {
+		sigs := make([]*sim.Signal, len(active))
+		for i, st := range active {
+			sigs[i] = st.sig
+		}
+		sim.WaitAny(p, sigs...)
+		next := active[:0:0]
+		for _, st := range active {
+			if !st.sig.Fired() {
+				next = append(next, st)
+				continue
+			}
+			if st.next != nil {
+				if ns := st.next(p); ns != nil {
+					next = append(next, ns)
+				}
+			}
+		}
+		active = next
+	}
+}
+
+// runIterationSerial is the NoOverlap ablation: receives are still posted up
+// front (MPI matching requires it to avoid deadlock) but every transfer is
+// then driven to completion before the next one starts.
+func (e *Exchanger) runIterationSerial(p *sim.Proc, rank, iter int) {
+	var recvs []*step
+	for _, pl := range e.recvDutiesOf(rank) {
+		recvs = append(recvs, e.recverSteps(p, pl, iter)...)
+	}
+	for _, pl := range e.sendDutiesOf(rank) {
+		for _, st := range e.senderSteps(p, pl, iter) {
+			e.driveToCompletion(p, st)
+		}
+	}
+	for _, st := range recvs {
+		e.driveToCompletion(p, st)
+	}
+}
+
+func (e *Exchanger) driveToCompletion(p *sim.Proc, st *step) {
+	for st != nil {
+		st.sig.Wait(p)
+		if st.next == nil {
+			return
+		}
+		st = st.next(p)
+	}
+}
+
+func (e *Exchanger) sendDutiesOf(rank int) []*Plan {
+	if e.sendDuties == nil {
+		e.buildDuties()
+	}
+	return e.sendDuties[rank]
+}
+
+func (e *Exchanger) recvDutiesOf(rank int) []*Plan {
+	if e.recvDuties == nil {
+		e.buildDuties()
+	}
+	return e.recvDuties[rank]
+}
+
+func (e *Exchanger) buildDuties() {
+	e.sendDuties = make([][]*Plan, e.W.Size())
+	e.recvDuties = make([][]*Plan, e.W.Size())
+	for _, pl := range e.Plans {
+		e.sendDuties[pl.Src.Rank] = append(e.sendDuties[pl.Src.Rank], pl)
+		switch pl.Method {
+		case MethodKernel, MethodPeer:
+			// receive side handled by the sender's process
+		default:
+			e.recvDuties[pl.Dst.Rank] = append(e.recvDuties[pl.Dst.Rank], pl)
+		}
+	}
+}
+
+// Run executes the measurement protocol of §IV-A for the given number of
+// exchange iterations: per iteration, barrier, exchange, and an allreduce of
+// the per-rank wall time; the maximum across ranks is the iteration's
+// reported time.
+func (e *Exchanger) Run(iterations int) *Stats {
+	return e.RunWithCompute(iterations, nil)
+}
+
+// RunWithCompute interleaves a per-subdomain compute kernel after each
+// exchange (the application's stencil update). Only the exchange portion is
+// timed, matching the paper's methodology.
+func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
+	if iterations < 1 {
+		panic("exchange: Run with no iterations")
+	}
+	times := make([]sim.Time, iterations)
+	ar := mpi.NewAllreducer(e.W)
+	owned := make([][]*Sub, e.W.Size())
+	for _, s := range e.Subs {
+		owned[s.Rank] = append(owned[s.Rank], s)
+	}
+	for r := 0; r < e.W.Size(); r++ {
+		rank := r
+		e.Eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			for it := 0; it < iterations; it++ {
+				e.W.Barrier(p)
+				t0 := e.W.Wtime()
+				e.runIteration(p, rank, it)
+				dt := e.W.Wtime() - t0
+				maxDt := ar.MaxFloat(p, dt)
+				if rank == 0 {
+					times[it] = maxDt
+				}
+				if compute == nil {
+					continue
+				}
+				var done []*sim.Signal
+				for _, s := range owned[rank] {
+					s := s
+					bytes := int64(s.Dom.Size.Vol()) * int64(e.Opts.ElemSize) * int64(e.Opts.Quantities)
+					e.RT.LaunchCost(p)
+					done = append(done, s.kernelStream.Kernel(
+						fmt.Sprintf("compute.%v", s.Global), bytes, e.M.Params.PackBW,
+						func() { compute(s) }))
+				}
+				sim.WaitAll(p, done...)
+			}
+		})
+	}
+	e.Eng.Run()
+	// Free the per-iteration rendezvous state.
+	e.slots = make(map[slotKey]*sim.Signal)
+	e.groupStates = make(map[slotKey]*groupState)
+	return newStats(e, times)
+}

@@ -1,0 +1,104 @@
+package exchange
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// Stats summarizes a measured exchange run.
+type Stats struct {
+	// Iterations holds the max-across-ranks exchange time of every
+	// iteration, in seconds.
+	Iterations []sim.Time
+	// MethodCount and MethodBytes break the plans down by transfer method.
+	MethodCount map[Method]int
+	MethodBytes map[Method]int64
+	// TotalBytes is the sum over all plans of the per-exchange message size.
+	TotalBytes int64
+}
+
+func newStats(e *Exchanger, times []sim.Time) *Stats {
+	s := &Stats{
+		Iterations:  times,
+		MethodCount: make(map[Method]int),
+		MethodBytes: make(map[Method]int64),
+	}
+	for _, p := range e.Plans {
+		s.MethodCount[p.Method]++
+		s.MethodBytes[p.Method] += p.Bytes
+		s.TotalBytes += p.Bytes
+	}
+	return s
+}
+
+// Mean returns the average iteration time.
+func (s *Stats) Mean() sim.Time {
+	var sum sim.Time
+	for _, t := range s.Iterations {
+		sum += t
+	}
+	return sum / sim.Time(len(s.Iterations))
+}
+
+// Min returns the fastest iteration.
+func (s *Stats) Min() sim.Time {
+	m := s.Iterations[0]
+	for _, t := range s.Iterations[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Max returns the slowest iteration.
+func (s *Stats) Max() sim.Time {
+	m := s.Iterations[0]
+	for _, t := range s.Iterations[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mean %.3f ms over %d iters;", s.Mean()*1e3, len(s.Iterations))
+	for m := Method(0); m < numMethods; m++ {
+		if c := s.MethodCount[m]; c > 0 {
+			fmt.Fprintf(&b, " %s=%d", m, c)
+		}
+	}
+	return b.String()
+}
+
+// ConfigString renders the paper's configuration label "Xn/Xr/Xg/NNNN[/ca]".
+func (o Options) ConfigString() string {
+	gpus := 6
+	if o.NodeConfig != nil {
+		gpus = o.NodeConfig.GPUs()
+	}
+	s := fmt.Sprintf("%dn/%dr/%dg/%d", o.Nodes, o.RanksPerNode, gpus, o.Domain.X)
+	if o.CUDAAware {
+		s += "/ca"
+	}
+	return s
+}
+
+// CapsString renders the capability ladder rung as the paper labels it.
+func (o Options) CapsString() string {
+	switch {
+	case o.Caps.Kernel:
+		return "+kernel"
+	case o.Caps.Peer:
+		return "+peer"
+	case o.Caps.Colocated:
+		return "+colo"
+	default:
+		return "+remote"
+	}
+}

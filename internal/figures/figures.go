@@ -1,0 +1,212 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated platform. Each Fig* function returns the
+// rows of the corresponding plot; cmd/stencilbench prints them and the
+// repository-root benchmarks wrap them.
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nodeaware/stencil/internal/exchange"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+// Row is one measured configuration.
+type Row struct {
+	Config  string // paper-style label, e.g. "2n/6r/6g/1717"
+	Caps    string // "+remote".."+kernel"
+	Nodes   int
+	Ranks   int // per node
+	Domain  int // cube edge, or 0 for non-cube
+	Seconds float64
+	Extra   string
+}
+
+func (r Row) String() string {
+	if r.Seconds == 0 {
+		return fmt.Sprintf("%-20s %-8s %s", r.Config, r.Caps, r.Extra)
+	}
+	return fmt.Sprintf("%-20s %-8s %10.3f ms %s", r.Config, r.Caps, r.Seconds*1e3, r.Extra)
+}
+
+// Ladder is the paper's capability progression.
+var Ladder = []exchange.Capabilities{
+	exchange.CapsRemote(), exchange.CapsColo(), exchange.CapsPeer(), exchange.CapsAll(),
+}
+
+// CubeEdge computes the paper's weak-scaling domain edge:
+// round(750 * nGPUs^(1/3)), keeping ~750^3 points per GPU in an overall
+// cube.
+func CubeEdge(nGPUs int) int {
+	return int(math.Round(750 * math.Cbrt(float64(nGPUs))))
+}
+
+// run builds and times one configuration.
+func run(opts exchange.Options, iters int) (float64, error) {
+	e, err := exchange.New(opts)
+	if err != nil {
+		return 0, err
+	}
+	return e.Run(iters).Min(), nil
+}
+
+func baseOpts(nodes, ranks, edge int, caps exchange.Capabilities, ca bool) exchange.Options {
+	return exchange.Options{
+		Nodes:        nodes,
+		RanksPerNode: ranks,
+		Domain:       part.Dim3{X: edge, Y: edge, Z: edge},
+		Radius:       2,
+		Quantities:   4,
+		ElemSize:     4,
+		Caps:         caps,
+		CUDAAware:    ca,
+		NodeAware:    true,
+	}
+}
+
+// Fig11 reproduces §IV-B / Fig 11: the 1440x1452x700 domain on one six-GPU
+// node under node-aware versus trivial placement. Rows: [aware, trivial].
+func Fig11(iters int) ([]Row, error) {
+	var rows []Row
+	for _, aware := range []bool{true, false} {
+		opts := exchange.Options{
+			Nodes:        1,
+			RanksPerNode: 6,
+			Domain:       part.Dim3{X: 1440, Y: 1452, Z: 700},
+			Radius:       2,
+			Quantities:   4,
+			ElemSize:     4,
+			Caps:         exchange.CapsAll(),
+			NodeAware:    aware,
+		}
+		t, err := run(opts, iters)
+		if err != nil {
+			return nil, err
+		}
+		label := "node-aware"
+		if !aware {
+			label = "trivial"
+		}
+		rows = append(rows, Row{
+			Config: "1n/6r/6g/1440x1452x700", Caps: label,
+			Nodes: 1, Ranks: 6, Seconds: t,
+		})
+	}
+	rows[0].Extra = fmt.Sprintf("placement speedup %.2fx (paper: ~1.20x)", rows[1].Seconds/rows[0].Seconds)
+	return rows, nil
+}
+
+// Fig12a reproduces the single-node specialization sweep: 1, 2, and 6 ranks
+// per node across the capability ladder, with and without CUDA-aware MPI.
+func Fig12a(iters int) ([]Row, error) {
+	edge := CubeEdge(6)
+	var rows []Row
+	for _, ca := range []bool{false, true} {
+		for _, ranks := range []int{1, 2, 6} {
+			for _, caps := range Ladder {
+				opts := baseOpts(1, ranks, edge, caps, ca)
+				t, err := run(opts, iters)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Row{
+					Config: opts.ConfigString(), Caps: opts.CapsString(),
+					Nodes: 1, Ranks: ranks, Domain: edge, Seconds: t,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig12b reproduces weak scaling without CUDA-aware MPI out to maxNodes
+// (paper: 256 nodes, 1536 GPUs), 6 ranks and 6 GPUs per node, across the
+// ladder.
+func Fig12b(maxNodes, iters int) ([]Row, error) {
+	return weakScaling(maxNodes, iters, false)
+}
+
+// Fig12c is Fig12b with CUDA-aware MPI enabled.
+func Fig12c(maxNodes, iters int) ([]Row, error) {
+	return weakScaling(maxNodes, iters, true)
+}
+
+func weakScaling(maxNodes, iters int, ca bool) ([]Row, error) {
+	var rows []Row
+	for nodes := 1; nodes <= maxNodes; nodes *= 2 {
+		edge := CubeEdge(nodes * 6)
+		for _, caps := range Ladder {
+			opts := baseOpts(nodes, 6, edge, caps, ca)
+			t, err := run(opts, iters)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Config: opts.ConfigString(), Caps: opts.CapsString(),
+				Nodes: nodes, Ranks: 6, Domain: edge, Seconds: t,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig13 reproduces strong scaling: a fixed 1363^3 domain (the largest that
+// fits one node) distributed over 1..maxNodes nodes, comparing the ladder's
+// bottom and top rungs.
+func Fig13(maxNodes, iters int) ([]Row, error) {
+	edge := CubeEdge(6) // 1363
+	var rows []Row
+	for nodes := 1; nodes <= maxNodes; nodes *= 2 {
+		for _, caps := range []exchange.Capabilities{exchange.CapsRemote(), exchange.CapsAll()} {
+			opts := baseOpts(nodes, 6, edge, caps, false)
+			t, err := run(opts, iters)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Config: opts.ConfigString(), Caps: opts.CapsString(),
+				Nodes: nodes, Ranks: 6, Domain: edge, Seconds: t,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TableI summarizes the simulated platform in the spirit of the paper's
+// hardware table: the node shape and every modeled link/overhead constant.
+func TableI() []Row {
+	p := machine.DefaultParams()
+	cfg := machine.SummitNode()
+	mk := func(k, v string) Row { return Row{Config: k, Extra: v} }
+	return []Row{
+		mk("node", fmt.Sprintf("%d sockets x %d GPUs (Summit-like)", cfg.Sockets, cfg.GPUsPerSocket)),
+		mk("NVLink", fmt.Sprintf("%.0f GB/s per direction (GPU-GPU in triad, GPU-CPU)", p.NVLinkBW/machine.GB)),
+		mk("X-Bus", fmt.Sprintf("%.0f GB/s per direction (socket-socket SMP)", p.XBusBW/machine.GB)),
+		mk("NIC", fmt.Sprintf("%.0f GB/s per direction (dual-rail EDR injection)", p.NICBW/machine.GB)),
+		mk("host memory", fmt.Sprintf("%.0f GB/s per socket", p.HostMemBW/machine.GB)),
+		mk("shm copy", fmt.Sprintf("%.0f GB/s per rank (one core)", p.ShmCopyBW/machine.GB)),
+		mk("pack kernels", fmt.Sprintf("%.0f GB/s effective strided bandwidth", p.PackBW/machine.GB)),
+		mk("kernel launch", fmt.Sprintf("%.0f us", p.KernelLaunch*1e6)),
+		mk("MPI latency", fmt.Sprintf("%.1f us intra-node, %.1f us inter-node", p.MPIIntraLatency*1e6, p.MPIInterLatency*1e6)),
+		mk("cudaIpc", fmt.Sprintf("get %.0f us, open %.0f us (setup only)", p.IpcGetHandle*1e6, p.IpcOpenHandle*1e6)),
+		mk("CUDA-aware MPI", fmt.Sprintf("%.0f us/message + %.0f us device sync (every exchange)", p.CudaAwarePerMsg*1e6, p.CudaAwareSyncCost*1e6)),
+	}
+}
+
+// Fig3 reproduces the partitioning comparison: total communication volume of
+// cubical versus sliced partitions of the same domain.
+func Fig3() []Row {
+	domain := part.Dim3{X: 36, Y: 36, Z: 1}
+	grids := []part.Dim3{{X: 2, Y: 2, Z: 1}, {X: 4, Y: 1, Z: 1}, {X: 3, Y: 3, Z: 1}, {X: 9, Y: 1, Z: 1}}
+	var rows []Row
+	for _, g := range grids {
+		v := part.CommVolume(domain, g, 1)
+		rows = append(rows, Row{
+			Config: fmt.Sprintf("grid %v", g),
+			Extra:  fmt.Sprintf("total comm volume %d cells", v),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCubeEdge(t *testing.T) {
+	// round(750 * 6^(1/3)) = 1363 — the paper's largest single-node domain
+	// (Fig 13 uses exactly 1363^3).
+	if got := CubeEdge(6); got != 1363 {
+		t.Errorf("CubeEdge(6) = %d, want 1363", got)
+	}
+	if got := CubeEdge(1); got != 750 {
+		t.Errorf("CubeEdge(1) = %d, want 750", got)
+	}
+	// Monotone in GPU count.
+	prev := 0
+	for _, n := range []int{1, 6, 12, 48, 384, 1536} {
+		e := CubeEdge(n)
+		if e <= prev {
+			t.Errorf("CubeEdge not monotone at %d GPUs", n)
+		}
+		prev = e
+	}
+}
+
+func TestFig3Rows(t *testing.T) {
+	rows := Fig3()
+	if len(rows) != 4 {
+		t.Fatalf("Fig3 rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !strings.Contains(r.Extra, "cells") {
+			t.Errorf("row missing volume: %+v", r)
+		}
+	}
+}
+
+func TestFig11Rows(t *testing.T) {
+	rows, err := Fig11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (aware, trivial)", len(rows))
+	}
+	if rows[0].Seconds >= rows[1].Seconds {
+		t.Errorf("node-aware %.4f not faster than trivial %.4f", rows[0].Seconds, rows[1].Seconds)
+	}
+	if !strings.Contains(rows[0].Extra, "speedup") {
+		t.Error("missing speedup annotation")
+	}
+}
+
+func TestWeakScalingTinyRuns(t *testing.T) {
+	rows, err := Fig12b(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 node counts x 4 ladder rungs.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("row %s has no time", r.Config)
+		}
+	}
+	// Within each node count the ladder must be monotone non-increasing.
+	for i := 0; i+3 < len(rows); i += 4 {
+		if !(rows[i+1].Seconds <= rows[i].Seconds*1.001) {
+			t.Errorf("%s: +colo slower than +remote", rows[i].Config)
+		}
+		if !(rows[i+3].Seconds <= rows[i+1].Seconds*1.001) {
+			t.Errorf("%s: +kernel slower than +colo", rows[i].Config)
+		}
+	}
+}
+
+func TestFig13TinyRuns(t *testing.T) {
+	rows, err := Fig13(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// Strong scaling holds once communication is off-node: 4 nodes beats 2
+	// for the same total domain. (The 1→2 node step pays the NVLink→NIC
+	// cliff and can rise; see EXPERIMENTS.md.)
+	twoNodeKernel := rows[3].Seconds
+	fourNodeKernel := rows[5].Seconds
+	if fourNodeKernel >= twoNodeKernel {
+		t.Errorf("strong scaling broken: 2n=%.4f 4n=%.4f", twoNodeKernel, fourNodeKernel)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Config: "1n/6r/6g/1363", Caps: "+kernel", Seconds: 0.00256}
+	s := r.String()
+	if !strings.Contains(s, "2.560 ms") || !strings.Contains(s, "+kernel") {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) < 8 {
+		t.Fatalf("TableI rows = %d", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r.Config + " " + r.Extra + "\n"
+	}
+	for _, want := range []string{"NVLink", "X-Bus", "NIC", "GB/s", "Summit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("TableI missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFig12cShapeMini(t *testing.T) {
+	// The CUDA-aware pathology: at 2 nodes the CA exchange is already slower
+	// than the non-CA STAGED path at the same capability rung, and it
+	// worsens relative to single-node.
+	ca, err := Fig12c(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonCA, err := Fig12b(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: [1n remote, 1n colo, 1n peer, 1n kernel, 2n remote, ...].
+	caRemote2n := ca[4].Seconds
+	caRemote1n := ca[0].Seconds
+	if caRemote2n <= caRemote1n {
+		t.Errorf("CA should degrade with nodes: 1n=%.4f 2n=%.4f", caRemote1n, caRemote2n)
+	}
+	// Specialization's on-node benefit shrinks under CA relative to non-CA.
+	caWin := ca[4].Seconds / ca[7].Seconds
+	nonCAWin := nonCA[4].Seconds / nonCA[7].Seconds
+	t.Logf("2-node specialization win: non-CA %.2fx, CA %.2fx", nonCAWin, caWin)
+}

@@ -1,0 +1,30 @@
+package flownet
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// BenchmarkFlowChurn measures rate-rebalance cost under heavy flow churn on
+// a hub-and-spoke network (the pattern halo exchanges produce).
+func BenchmarkFlowChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		n := New(e)
+		hub := NewLink("hub", 100e9)
+		var spokes []*Link
+		for s := 0; s < 12; s++ {
+			spokes = append(spokes, NewLink(fmt.Sprintf("s%d", s), 50e9))
+		}
+		for f := 0; f < 200; f++ {
+			f := f
+			e.At(float64(f)*1e-5, func() {
+				n.StartFlow("f", []*Link{spokes[f%12], hub}, 1e6)
+			})
+		}
+		e.Run()
+	}
+}

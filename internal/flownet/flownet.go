@@ -1,0 +1,331 @@
+// Package flownet models data transfers as flows over a network of
+// bandwidth-limited links, with max-min fair rate allocation.
+//
+// Each flow traverses an ordered path of links. At any instant every flow has
+// a rate: the max-min fair allocation given all concurrently active flows and
+// the capacity of every link they share. When the set of flows changes (one
+// starts or finishes) the rates of the affected connected component are
+// recomputed via water-filling and completion events are rescheduled for
+// flows whose rate changed.
+//
+// This captures the contention effects the paper's results hinge on: a STAGED
+// exchange funnels six GPUs' halos through two host-DRAM links and loses to
+// PEERMEMCPY, which spreads the same bytes over six NVLinks.
+//
+// The implementation is engineered for cluster-scale simulations (hundreds of
+// nodes, thousands of concurrent flows): component discovery and
+// water-filling use epoch-stamped scratch fields on links and flows rather
+// than maps, and rescheduling skips flows whose rate is unchanged.
+package flownet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// Link is a unidirectional bandwidth resource.
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second
+	flows    []*Flow // active flows crossing the link
+
+	// Scratch fields for rebalance; valid only when visit == Network.epoch.
+	visit      uint64
+	residual   float64
+	unassigned int
+}
+
+// NewLink creates a link with the given capacity in bytes/second.
+func NewLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("flownet: link %s capacity %g <= 0", name, capacity))
+	}
+	return &Link{Name: name, Capacity: capacity}
+}
+
+// NumFlows returns the number of flows currently traversing the link.
+func (l *Link) NumFlows() int { return len(l.flows) }
+
+func (l *Link) removeFlow(f *Flow) {
+	for i, g := range l.flows {
+		if g == f {
+			l.flows[i] = l.flows[len(l.flows)-1]
+			l.flows[len(l.flows)-1] = nil
+			l.flows = l.flows[:len(l.flows)-1]
+			return
+		}
+	}
+	panic("flownet: flow not on link " + l.Name)
+}
+
+// Flow is an in-flight transfer across a path of links.
+type Flow struct {
+	name       string
+	path       []*Link
+	total      float64 // original size in bytes
+	remaining  float64 // bytes left to move
+	rate       float64 // current allocated bytes/sec
+	lastUpdate sim.Time
+	done       *sim.Signal
+	completion *sim.Event
+
+	visit    uint64 // component-discovery stamp (interior)
+	bvisit   uint64 // boundary stamp
+	assigned uint64 // water-filling stamp
+}
+
+// Done returns the signal fired when the flow's last byte arrives.
+func (f *Flow) Done() *sim.Signal { return f.done }
+
+// Rate returns the currently allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes not yet transferred as of the last rate change.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Network owns a set of links and the active flows over them.
+type Network struct {
+	eng    *sim.Engine
+	active int
+	epoch  uint64
+
+	// MaxHops bounds how far a rate recomputation propagates from the
+	// changed flow, measured in link hops of the link-flow bipartite graph.
+	// Zero means unbounded (exact max-min over the whole connected
+	// component). With a bound, flows beyond the horizon keep their current
+	// rates and are subtracted from link capacities as constants; the
+	// allocation inside the horizon is exact given that boundary. Rates a
+	// few hops away change negligibly when a flow starts, so a small bound
+	// (4-6) preserves behaviour while keeping cluster-scale simulations
+	// near-linear in events.
+	MaxHops int
+
+	// Reusable scratch for rebalance.
+	compFlows []*Flow
+	compLinks []*Link
+	compDepth []int
+	boundary  []*Flow
+}
+
+// New creates an empty network bound to the engine.
+func New(e *sim.Engine) *Network {
+	return &Network{eng: e}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return n.active }
+
+// StartFlow begins transferring bytes over path and returns the flow. The
+// flow's Done signal fires when it completes. A zero-byte flow completes at
+// the current time (signal fires immediately). An empty path is not allowed:
+// model zero-cost local moves at a higher layer.
+func (n *Network) StartFlow(name string, path []*Link, bytes float64) *Flow {
+	if len(path) == 0 {
+		panic("flownet: StartFlow with empty path: " + name)
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("flownet: negative flow size %g: %s", bytes, name))
+	}
+	f := &Flow{
+		name:       name,
+		path:       path,
+		total:      bytes,
+		remaining:  bytes,
+		lastUpdate: n.eng.Now(),
+		done:       sim.NewSignal(n.eng, "flow:"+name),
+	}
+	if bytes == 0 {
+		f.done.Fire()
+		return f
+	}
+	n.active++
+	for _, l := range f.path {
+		l.flows = append(l.flows, f)
+	}
+	n.rebalance(f.path)
+	return f
+}
+
+// finish removes a completed flow and fires its signal.
+func (n *Network) finish(f *Flow) {
+	f.settle(n.eng.Now())
+	// Rate recomputations accumulate floating-point residue proportional to
+	// the flow size; anything beyond that tolerance is a scheduling bug.
+	if f.remaining > 1e-9*f.total+1e-3 {
+		panic(fmt.Sprintf("flownet: flow %s completed with %g bytes remaining", f.name, f.remaining))
+	}
+	n.active--
+	for _, l := range f.path {
+		l.removeFlow(f)
+	}
+	f.completion = nil
+	f.done.Fire()
+	n.rebalance(f.path)
+}
+
+// settle accounts bytes moved at the current rate since the last update.
+func (f *Flow) settle(now sim.Time) {
+	f.remaining -= f.rate * (now - f.lastUpdate)
+	if f.remaining < 0 {
+		f.remaining = 0
+	}
+	f.lastUpdate = now
+}
+
+// rebalance recomputes the max-min fair allocation for the connected
+// component of flows reachable from the seed links and reschedules the
+// completion events of flows whose rate changed. Flows sharing no link
+// (transitively) with the seed are untouched: by the uniqueness of the
+// max-min allocation their rates cannot have changed.
+func (n *Network) rebalance(seed []*Link) {
+	n.epoch++
+	epoch := n.epoch
+
+	// Component discovery (breadth-first over the link-flow bipartite
+	// graph) into reusable scratch slices. With MaxHops set, flows first
+	// reached at the horizon become boundary flows: their rates are frozen
+	// and subtracted from the capacities of the links they cross.
+	flows := n.compFlows[:0]
+	links := n.compLinks[:0]
+	depth := n.compDepth[:0]
+	bound := n.boundary[:0]
+	for _, l := range seed {
+		if l.visit != epoch {
+			l.visit = epoch
+			links = append(links, l)
+			depth = append(depth, 0)
+		}
+	}
+	for cursor := 0; cursor < len(links); cursor++ {
+		l := links[cursor]
+		d := depth[cursor]
+		atHorizon := n.MaxHops > 0 && d >= n.MaxHops
+		for _, f := range l.flows {
+			if f.visit == epoch || f.bvisit == epoch {
+				continue
+			}
+			if atHorizon {
+				f.bvisit = epoch
+				bound = append(bound, f)
+				continue
+			}
+			f.visit = epoch
+			flows = append(flows, f)
+			for _, fl := range f.path {
+				if fl.visit != epoch {
+					fl.visit = epoch
+					links = append(links, fl)
+					depth = append(depth, d+1)
+				}
+			}
+		}
+	}
+	n.compFlows, n.compLinks, n.compDepth, n.boundary = flows, links, depth, bound
+	if len(flows) == 0 {
+		return
+	}
+
+	now := n.eng.Now()
+	for _, f := range flows {
+		f.settle(now)
+	}
+
+	// Water-filling: repeatedly freeze the most-constrained link's flows at
+	// that link's equal share.
+	for _, l := range links {
+		l.residual = l.Capacity
+		l.unassigned = len(l.flows)
+	}
+	for _, f := range bound {
+		for _, l := range f.path {
+			if l.visit != epoch {
+				continue
+			}
+			l.residual -= f.rate
+			if l.residual < 0 {
+				l.residual = 0
+			}
+			l.unassigned--
+		}
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		share := math.Inf(1)
+		for _, l := range links {
+			if l.unassigned == 0 {
+				continue
+			}
+			if s := l.residual / float64(l.unassigned); s < share {
+				share = s
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("flownet: unassigned flows but no constraining link")
+		}
+		// With a bounded horizon, frozen boundary flows can saturate a link
+		// completely; keep interior flows trickling so they still terminate.
+		if share < 1 {
+			share = 1
+		}
+		// Freeze every link currently at the bottleneck share. Symmetric
+		// exchanges produce thousands of tied links; handling them in one
+		// round keeps rebalancing near-linear. Each candidate re-checks its
+		// share because freezing an earlier link may have changed it.
+		froze := false
+		for _, l := range links {
+			if l.unassigned == 0 {
+				continue
+			}
+			if l.residual/float64(l.unassigned) > share*(1+1e-12) {
+				continue
+			}
+			for _, f := range l.flows {
+				if f.assigned == epoch || f.visit != epoch {
+					continue // already frozen this round, or boundary flow
+				}
+				f.assigned = epoch
+				remaining--
+				froze = true
+				for _, fl := range f.path {
+					fl.residual -= share
+					if fl.residual < 0 {
+						fl.residual = 0
+					}
+					fl.unassigned--
+				}
+				n.applyRate(f, share)
+			}
+		}
+		if !froze {
+			panic("flownet: water-filling made no progress")
+		}
+	}
+}
+
+// applyRate installs a flow's new rate and reschedules its completion,
+// skipping the churn when the rate is unchanged.
+func (n *Network) applyRate(f *Flow, rate float64) {
+	if rate <= 0 {
+		// Should not happen: every flow is on at least one link with
+		// positive capacity, so water-filling always assigns a rate.
+		panic("flownet: zero rate assigned to " + f.name)
+	}
+	if rate == f.rate && f.completion != nil && !f.completion.Cancelled() {
+		return
+	}
+	f.rate = rate
+	if f.completion != nil {
+		f.completion.Cancel()
+	}
+	eta := f.remaining / f.rate
+	f.completion = n.eng.After(eta, func() { n.finish(f) })
+}
+
+// Transfer is a convenience for process code: start a flow and park until it
+// completes.
+func (n *Network) Transfer(p *sim.Proc, name string, path []*Link, bytes float64) {
+	f := n.StartFlow(name, path, bytes)
+	f.Done().Wait(p)
+}

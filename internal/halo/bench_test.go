@@ -1,0 +1,39 @@
+package halo
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+func BenchmarkPackFace(b *testing.B) {
+	d := NewDomain(part.Dim3{X: 128, Y: 128, Z: 128}, 2, 4, 4, true)
+	dir := part.Dim3{X: 1}
+	buf := make([]byte, d.HaloBytes(dir))
+	b.SetBytes(d.HaloBytes(dir))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Pack(buf, dir)
+	}
+}
+
+func BenchmarkUnpackFace(b *testing.B) {
+	d := NewDomain(part.Dim3{X: 128, Y: 128, Z: 128}, 2, 4, 4, true)
+	dir := part.Dim3{X: 1}
+	buf := make([]byte, d.HaloBytes(dir))
+	b.SetBytes(d.HaloBytes(dir))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Unpack(buf, dir)
+	}
+}
+
+func BenchmarkSelfExchange(b *testing.B) {
+	d := NewDomain(part.Dim3{X: 128, Y: 128, Z: 128}, 2, 4, 4, true)
+	dir := part.Dim3{Z: 1}
+	b.SetBytes(d.HaloBytes(dir))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SelfExchange(dir)
+	}
+}

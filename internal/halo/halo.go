@@ -1,0 +1,260 @@
+// Package halo implements subdomain storage and halo-region geometry: the 26
+// direction vectors' send/receive regions, packing of non-contiguous 3D
+// regions into dense buffers (paper Fig 6), unpacking, and self-exchange.
+//
+// A Domain stores one or more quantities over an interior of Size cells plus
+// a halo shell of width Radius, in XYZ storage order (x contiguous). Packing
+// walks the region row by row, copying contiguous x-runs, exactly as the
+// CUDA pack kernel does. Domains optionally carry real backing bytes; in
+// time-only mode all geometry and byte counting still work but no data
+// moves.
+package halo
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+// Region is a half-open box [Lo, Hi) in local domain coordinates, where the
+// interior spans [0, Size) and the halo extends Radius cells beyond.
+type Region struct {
+	Lo, Hi part.Dim3
+}
+
+// Cells returns the number of grid points in the region.
+func (r Region) Cells() int {
+	return (r.Hi.X - r.Lo.X) * (r.Hi.Y - r.Lo.Y) * (r.Hi.Z - r.Lo.Z)
+}
+
+// Domain is one subdomain's storage.
+type Domain struct {
+	Size       part.Dim3 // interior extent
+	Radius     int
+	Quantities int
+	ElemSize   int // bytes per grid value (4 for single precision)
+
+	stride  part.Dim3 // allocated extents including halo
+	data    [][]byte  // one allocation per quantity; nil in time-only mode
+	perCell int       // ElemSize (cached for clarity at call sites)
+}
+
+// NewDomain allocates a subdomain. If real is false the domain is time-only:
+// geometry and sizes work but no bytes are stored.
+func NewDomain(size part.Dim3, radius, quantities, elemSize int, real bool) *Domain {
+	if size.X < 1 || size.Y < 1 || size.Z < 1 {
+		panic(fmt.Sprintf("halo: empty domain %v", size))
+	}
+	if radius < 0 || quantities < 1 || elemSize < 1 {
+		panic(fmt.Sprintf("halo: bad params r=%d q=%d e=%d", radius, quantities, elemSize))
+	}
+	d := &Domain{
+		Size:       size,
+		Radius:     radius,
+		Quantities: quantities,
+		ElemSize:   elemSize,
+		stride:     part.Dim3{X: size.X + 2*radius, Y: size.Y + 2*radius, Z: size.Z + 2*radius},
+		perCell:    elemSize,
+	}
+	if real {
+		n := d.stride.Vol() * elemSize
+		d.data = make([][]byte, quantities)
+		for q := range d.data {
+			d.data[q] = make([]byte, n)
+		}
+	}
+	return d
+}
+
+// Real reports whether the domain carries backing bytes.
+func (d *Domain) Real() bool { return d.data != nil }
+
+// AllocBytes returns the total allocation size of the domain including halo,
+// across all quantities.
+func (d *Domain) AllocBytes() int64 {
+	return int64(d.stride.Vol()) * int64(d.ElemSize) * int64(d.Quantities)
+}
+
+// offset returns the byte offset of cell (x,y,z) — local coordinates, halo
+// at negative and >= Size indices — within one quantity's allocation.
+func (d *Domain) offset(x, y, z int) int {
+	r := d.Radius
+	return (((z+r)*d.stride.Y+(y+r))*d.stride.X + (x + r)) * d.ElemSize
+}
+
+// checkCoord panics if the coordinate is outside the allocated shell.
+func (d *Domain) checkCoord(x, y, z int) {
+	r := d.Radius
+	if x < -r || x >= d.Size.X+r || y < -r || y >= d.Size.Y+r || z < -r || z >= d.Size.Z+r {
+		panic(fmt.Sprintf("halo: coordinate (%d,%d,%d) outside domain %v radius %d", x, y, z, d.Size, r))
+	}
+}
+
+// At returns the elem bytes of cell (x,y,z) of quantity q as a slice into
+// the backing store. Panics in time-only mode or out of range.
+func (d *Domain) At(q, x, y, z int) []byte {
+	d.checkCoord(x, y, z)
+	off := d.offset(x, y, z)
+	return d.data[q][off : off+d.ElemSize]
+}
+
+// SendRegion returns the interior strip that must be sent to the neighbor in
+// direction dir: Radius cells deep along each nonzero direction component,
+// the full interior along zero components.
+func (d *Domain) SendRegion(dir part.Dim3) Region {
+	return d.regionFor(dir, false)
+}
+
+// RecvRegion returns the exterior halo shell filled by the neighbor in
+// direction dir.
+func (d *Domain) RecvRegion(dir part.Dim3) Region {
+	return d.regionFor(dir, true)
+}
+
+func (d *Domain) regionFor(dir part.Dim3, exterior bool) Region {
+	r := d.Radius
+	lo := [3]int{}
+	hi := [3]int{}
+	size := [3]int{d.Size.X, d.Size.Y, d.Size.Z}
+	dv := [3]int{dir.X, dir.Y, dir.Z}
+	for a := 0; a < 3; a++ {
+		switch dv[a] {
+		case 0:
+			lo[a], hi[a] = 0, size[a]
+		case 1:
+			if exterior {
+				lo[a], hi[a] = size[a], size[a]+r
+			} else {
+				lo[a], hi[a] = size[a]-r, size[a]
+			}
+		case -1:
+			if exterior {
+				lo[a], hi[a] = -r, 0
+			} else {
+				lo[a], hi[a] = 0, r
+			}
+		default:
+			panic(fmt.Sprintf("halo: direction component %d", dv[a]))
+		}
+	}
+	return Region{
+		Lo: part.Dim3{X: lo[0], Y: lo[1], Z: lo[2]},
+		Hi: part.Dim3{X: hi[0], Y: hi[1], Z: hi[2]},
+	}
+}
+
+// HaloBytes returns the message size for an exchange in direction dir: the
+// region cells times element size times quantity count.
+func (d *Domain) HaloBytes(dir part.Dim3) int64 {
+	return int64(d.SendRegion(dir).Cells()) * int64(d.ElemSize) * int64(d.Quantities)
+}
+
+// forEachRow invokes fn with the byte offset and length of every contiguous
+// x-run in the region, for quantity q.
+func (d *Domain) forEachRow(reg Region, fn func(off, n int)) {
+	rowBytes := (reg.Hi.X - reg.Lo.X) * d.ElemSize
+	for z := reg.Lo.Z; z < reg.Hi.Z; z++ {
+		for y := reg.Lo.Y; y < reg.Hi.Y; y++ {
+			fn(d.offset(reg.Lo.X, y, z), rowBytes)
+		}
+	}
+}
+
+// Pack copies the send region for dir, all quantities, into dst (the dense
+// buffer layout of Fig 6: quantity-major, then z, y, x). It returns the
+// number of bytes packed. In time-only mode (or with nil dst) it returns the
+// byte count without copying.
+func (d *Domain) Pack(dst []byte, dir part.Dim3) int64 {
+	reg := d.SendRegion(dir)
+	total := d.HaloBytes(dir)
+	if d.data == nil || dst == nil {
+		return total
+	}
+	if int64(len(dst)) < total {
+		panic(fmt.Sprintf("halo: pack buffer %d < message %d", len(dst), total))
+	}
+	pos := 0
+	for q := 0; q < d.Quantities; q++ {
+		src := d.data[q]
+		d.forEachRow(reg, func(off, n int) {
+			copy(dst[pos:pos+n], src[off:off+n])
+			pos += n
+		})
+	}
+	return total
+}
+
+// Unpack copies a dense buffer produced by the neighbor's Pack into the
+// receive halo for dir. Buffer layout must match Pack's.
+func (d *Domain) Unpack(src []byte, dir part.Dim3) int64 {
+	reg := d.RecvRegion(dir)
+	total := int64(reg.Cells()) * int64(d.ElemSize) * int64(d.Quantities)
+	if d.data == nil || src == nil {
+		return total
+	}
+	if int64(len(src)) < total {
+		panic(fmt.Sprintf("halo: unpack buffer %d < message %d", len(src), total))
+	}
+	pos := 0
+	for q := 0; q < d.Quantities; q++ {
+		dst := d.data[q]
+		d.forEachRow(reg, func(off, n int) {
+			copy(dst[off:off+n], src[pos:pos+n])
+			pos += n
+		})
+	}
+	return total
+}
+
+// SelfExchange fills the receive halo in direction dir from this domain's
+// own interior, implementing the KERNEL method's periodic wrap: the halo in
+// direction dir receives the send region of direction -dir.
+func (d *Domain) SelfExchange(dir part.Dim3) int64 {
+	neg := part.Dim3{X: -dir.X, Y: -dir.Y, Z: -dir.Z}
+	src := d.SendRegion(neg)
+	dst := d.RecvRegion(dir)
+	total := int64(dst.Cells()) * int64(d.ElemSize) * int64(d.Quantities)
+	if d.data == nil {
+		return total
+	}
+	if src.Cells() != dst.Cells() {
+		panic("halo: self-exchange region mismatch")
+	}
+	// Gather rows pairwise: both regions have identical per-axis extents.
+	for q := 0; q < d.Quantities; q++ {
+		buf := d.data[q]
+		srcOffs := d.rowOffsets(src)
+		dstOffs := d.rowOffsets(dst)
+		rowBytes := (src.Hi.X - src.Lo.X) * d.ElemSize
+		for i := range srcOffs {
+			copy(buf[dstOffs[i]:dstOffs[i]+rowBytes], buf[srcOffs[i]:srcOffs[i]+rowBytes])
+		}
+	}
+	return total
+}
+
+func (d *Domain) rowOffsets(reg Region) []int {
+	var offs []int
+	d.forEachRow(reg, func(off, _ int) { offs = append(offs, off) })
+	return offs
+}
+
+// MaxHaloBytes returns the largest single-direction message size across the
+// given directions; the exchange layer sizes its staging buffers with this.
+func (d *Domain) MaxHaloBytes(dirs []part.Dim3) int64 {
+	var maxB int64
+	for _, dir := range dirs {
+		if b := d.HaloBytes(dir); b > maxB {
+			maxB = b
+		}
+	}
+	return maxB
+}
+
+// ExchangeVolume returns the bytes exchanged between two adjacent subdomains
+// of the given sizes in direction dir (from a's perspective): it is a's send
+// region size, which must equal b's receive region size along the shared
+// face, edge, or corner. Used to build the placement flow matrix (Fig 5).
+func ExchangeVolume(a part.Dim3, dir part.Dim3, radius, quantities, elemSize int) int64 {
+	return int64(part.HaloCells(a, dir, radius)) * int64(quantities) * int64(elemSize)
+}

@@ -1,0 +1,205 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func TestSummitNodeShape(t *testing.T) {
+	cfg := SummitNode()
+	if cfg.GPUs() != 6 {
+		t.Errorf("Summit node GPUs = %d, want 6", cfg.GPUs())
+	}
+	if cfg.Sockets != 2 || cfg.GPUsPerSocket != 3 {
+		t.Errorf("Summit node = %+v, want 2 sockets x 3 GPUs", cfg)
+	}
+}
+
+func TestSocketAssignment(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewSummit(e, 1)
+	n := m.Nodes[0]
+	wantSocket := []int{0, 0, 0, 1, 1, 1}
+	for g, want := range wantSocket {
+		if got := n.Socket(g); got != want {
+			t.Errorf("Socket(%d) = %d, want %d", g, got, want)
+		}
+	}
+}
+
+func TestSameTriad(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {1, 2, true},
+		{3, 4, true}, {3, 5, true},
+		{0, 3, false}, {2, 3, false}, {1, 5, false},
+	}
+	for _, c := range cases {
+		if got := n.SameTriad(c.a, c.b); got != c.want {
+			t.Errorf("SameTriad(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDevToDevPathIntraTriad(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	path := n.DevToDevPath(0, 1)
+	if len(path) != 1 {
+		t.Fatalf("intra-triad path length = %d, want 1 (direct NVLink)", len(path))
+	}
+	if path[0].Capacity != DefaultParams().NVLinkBW {
+		t.Errorf("intra-triad link capacity = %g, want NVLink", path[0].Capacity)
+	}
+}
+
+func TestDevToDevPathCrossSocket(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	path := n.DevToDevPath(0, 3)
+	if len(path) != 3 {
+		t.Fatalf("cross-socket path length = %d, want 3 (up, xbus, down)", len(path))
+	}
+	if path[1].Capacity != DefaultParams().XBusBW {
+		t.Errorf("middle link capacity = %g, want X-Bus", path[1].Capacity)
+	}
+}
+
+func TestDevToDevPathSameGPU(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	path := n.DevToDevPath(2, 2)
+	if len(path) != 1 || path[0].Capacity != DefaultParams().DevLocalBW {
+		t.Errorf("same-GPU path = %v, want single device-local link", path)
+	}
+}
+
+func TestDevToHostPathSameSocket(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	path := n.DevToHostPath(0, 0)
+	if len(path) != 2 {
+		t.Fatalf("same-socket D2H path length = %d, want 2", len(path))
+	}
+}
+
+func TestDevToHostPathCrossSocket(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	path := n.DevToHostPath(0, 1)
+	if len(path) != 3 {
+		t.Fatalf("cross-socket D2H path length = %d, want 3 (up, xbus, mem)", len(path))
+	}
+}
+
+func TestHostToHostPaths(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewSummit(e, 2)
+	if got := len(m.HostToHostPath(0, 0, 0, 0)); got != 1 {
+		t.Errorf("same-socket H2H path length = %d, want 1", got)
+	}
+	if got := len(m.HostToHostPath(0, 0, 0, 1)); got != 3 {
+		t.Errorf("cross-socket H2H path length = %d, want 3", got)
+	}
+	if got := len(m.HostToHostPath(0, 0, 1, 1)); got != 4 {
+		t.Errorf("inter-node H2H path length = %d, want 4 (mem,nicOut,nicIn,mem)", got)
+	}
+}
+
+func TestDevToDevRemotePath(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewSummit(e, 2)
+	path := m.DevToDevRemotePath(0, 0, 1, 5)
+	if len(path) != 4 {
+		t.Fatalf("remote D2D path length = %d, want 4", len(path))
+	}
+	// Same node falls back to the local path.
+	local := m.DevToDevRemotePath(0, 0, 0, 1)
+	if len(local) != 1 {
+		t.Errorf("same-node remote path length = %d, want 1", len(local))
+	}
+}
+
+func TestTheoreticalBWOrdering(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	same := n.TheoreticalBW(0, 0)
+	triad := n.TheoreticalBW(0, 1)
+	sys := n.TheoreticalBW(0, 3)
+	if !(same > triad && triad > sys) {
+		t.Errorf("bandwidth ordering violated: same=%g triad=%g sys=%g", same, triad, sys)
+	}
+}
+
+func TestTheoreticalBWSymmetric(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if n.TheoreticalBW(a, b) != n.TheoreticalBW(b, a) {
+				t.Errorf("TheoreticalBW(%d,%d) != TheoreticalBW(%d,%d)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestLinkKind(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewSummit(e, 1).Nodes[0]
+	if n.Kind(2, 2) != LinkSame {
+		t.Error("Kind(2,2) != LinkSame")
+	}
+	if n.Kind(0, 2) != LinkNVLink {
+		t.Error("Kind(0,2) != LinkNVLink")
+	}
+	if n.Kind(0, 5) != LinkSys {
+		t.Error("Kind(0,5) != LinkSys")
+	}
+	if LinkNVLink.String() != "NVLINK" || LinkSys.String() != "SYS" || LinkSame.String() != "SAME" {
+		t.Error("LinkKind String() mismatch")
+	}
+}
+
+func TestClusterNodeCount(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewSummit(e, 4)
+	if len(m.Nodes) != 4 {
+		t.Errorf("nodes = %d, want 4", len(m.Nodes))
+	}
+	for i, n := range m.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+func TestCustomNodeConfig(t *testing.T) {
+	e := sim.NewEngine()
+	// Fig 4 scenario: nodes with 4 GPUs (2 sockets x 2).
+	m := New(e, 12, NodeConfig{Sockets: 2, GPUsPerSocket: 2}, DefaultParams())
+	if len(m.Nodes) != 12 {
+		t.Fatalf("nodes = %d, want 12", len(m.Nodes))
+	}
+	n := m.Nodes[0]
+	if n.Config.GPUs() != 4 {
+		t.Errorf("GPUs = %d, want 4", n.Config.GPUs())
+	}
+	if n.Socket(3) != 1 {
+		t.Errorf("Socket(3) = %d, want 1", n.Socket(3))
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	e := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-node cluster did not panic")
+		}
+	}()
+	New(e, 0, SummitNode(), DefaultParams())
+}

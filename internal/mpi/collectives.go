@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// This file implements the collectives a stencil application needs around
+// its halo exchanges (global residual norms, configuration broadcast, rank
+// coordination). They are built from the package's own point-to-point
+// messages so their cost emerges from the same transport model: intra-node
+// rounds ride shared memory, inter-node rounds cross the NIC.
+//
+// MPI ordering semantics apply: every rank must call the same collectives in
+// the same order. Payload values travel alongside the simulated messages in
+// a coordination table; the messages themselves carry the wire cost.
+
+// Op combines two reduction operands.
+type Op func(a, b float64) float64
+
+// Reduction operators.
+func MaxOp(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func MinOp(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func SumOp(a, b float64) float64 { return a + b }
+
+const (
+	collTagBase = 1 << 24 // tag space reserved for collectives
+	collMsgSize = 8       // one float64 on the wire
+)
+
+type collKey struct {
+	seq  int
+	src  int
+	dst  int
+	step int
+}
+
+// coll holds the per-world collective coordination state.
+type coll struct {
+	seq    []int // per-rank sequence number
+	values map[collKey]float64
+}
+
+func (w *World) collState() *coll {
+	if w.collectives == nil {
+		w.collectives = &coll{
+			seq:    make([]int, len(w.ranks)),
+			values: make(map[collKey]float64),
+		}
+	}
+	return w.collectives
+}
+
+// exchangeValue performs one sendrecv of a float64 with partner, returning
+// the partner's value. The simulated 8-byte messages provide the timing; the
+// value rides the coordination table.
+func (w *World) exchangeValue(p *sim.Proc, rank, partner, seq, step int, v float64) float64 {
+	c := w.collState()
+	c.values[collKey{seq: seq, src: rank, dst: partner, step: step}] = v
+	tag := collTagBase + (seq%1024)*64 + step
+	r := w.ranks[rank]
+	sbuf := w.RT.MallocHost(r.Node, r.Socket, collMsgSize)
+	rbuf := w.RT.MallocHost(r.Node, r.Socket, collMsgSize)
+	sendReq := r.Isend(partner, tag, sbuf, 0, collMsgSize)
+	recvReq := r.Irecv(partner, tag, rbuf, 0, collMsgSize)
+	Waitall(p, sendReq, recvReq)
+	key := collKey{seq: seq, src: partner, dst: rank, step: step}
+	pv, ok := c.values[key]
+	if !ok {
+		panic(fmt.Sprintf("mpi: collective value missing for %+v", key))
+	}
+	delete(c.values, key)
+	return pv
+}
+
+// sendValue / recvValue are the one-directional variants used by the
+// fold-in/fold-out phases and broadcasts.
+func (w *World) sendValue(p *sim.Proc, rank, dst, seq, step int, v float64) {
+	c := w.collState()
+	c.values[collKey{seq: seq, src: rank, dst: dst, step: step}] = v
+	tag := collTagBase + (seq%1024)*64 + step
+	r := w.ranks[rank]
+	buf := w.RT.MallocHost(r.Node, r.Socket, collMsgSize)
+	r.Isend(dst, tag, buf, 0, collMsgSize).Wait(p)
+}
+
+func (w *World) recvValue(p *sim.Proc, rank, src, seq, step int) float64 {
+	tag := collTagBase + (seq%1024)*64 + step
+	r := w.ranks[rank]
+	buf := w.RT.MallocHost(r.Node, r.Socket, collMsgSize)
+	r.Irecv(src, tag, buf, 0, collMsgSize).Wait(p)
+	c := w.collState()
+	key := collKey{seq: seq, src: src, dst: rank, step: step}
+	v, ok := c.values[key]
+	if !ok {
+		panic(fmt.Sprintf("mpi: collective value missing for %+v", key))
+	}
+	delete(c.values, key)
+	return v
+}
+
+// Allreduce combines value across all ranks with op and returns the result
+// on every rank (recursive doubling with fold-in for non-power-of-two rank
+// counts). Must be called collectively, in the same order, by every rank.
+func (w *World) Allreduce(p *sim.Proc, rank int, value float64, op Op) float64 {
+	n := len(w.ranks)
+	if n == 1 {
+		return value
+	}
+	c := w.collState()
+	seq := c.seq[rank]
+	c.seq[rank]++
+
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	rem := n - p2
+
+	// Fold-in: ranks [p2, n) contribute to [0, rem).
+	if rank >= p2 {
+		w.sendValue(p, rank, rank-p2, seq, 0, value)
+	} else if rank < rem {
+		value = op(value, w.recvValue(p, rank, rank+p2, seq, 0))
+	}
+
+	// Recursive doubling among [0, p2).
+	if rank < p2 {
+		step := 1
+		for mask := 1; mask < p2; mask <<= 1 {
+			partner := rank ^ mask
+			pv := w.exchangeValue(p, rank, partner, seq, step, value)
+			value = op(value, pv)
+			step++
+		}
+	}
+
+	// Fold-out: results return to [p2, n).
+	const foldOutStep = 62
+	if rank < rem {
+		w.sendValue(p, rank, rank+p2, seq, foldOutStep, value)
+	} else if rank >= p2 {
+		value = w.recvValue(p, rank, rank-p2, seq, foldOutStep)
+	}
+	return value
+}
+
+// Bcast distributes root's value to every rank via a binomial tree and
+// returns it. Must be called collectively by every rank.
+func (w *World) Bcast(p *sim.Proc, rank, root int, value float64) float64 {
+	n := len(w.ranks)
+	if n == 1 {
+		return value
+	}
+	c := w.collState()
+	seq := c.seq[rank]
+	c.seq[rank]++
+
+	// Rotate so the root is virtual rank 0.
+	vrank := (rank - root + n) % n
+	// Receive from the parent (highest set bit), then forward down the tree.
+	if vrank != 0 {
+		parent := vrank &^ (1 << (bits(vrank) - 1))
+		value = w.recvValue(p, rank, (parent+root)%n, seq, 0)
+	}
+	for k := bits(vrank); ; k++ {
+		child := vrank | (1 << k)
+		if child == vrank || child >= n {
+			break
+		}
+		w.sendValue(p, rank, (child+root)%n, seq, 0, value)
+	}
+	return value
+}
+
+// bits returns the number of bits needed to represent v (0 for v == 0).
+func bits(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Allgather collects every rank's value into a slice indexed by rank,
+// returned on every rank (ring algorithm: n-1 rounds of neighbor exchange).
+func (w *World) Allgather(p *sim.Proc, rank int, value float64) []float64 {
+	n := len(w.ranks)
+	out := make([]float64, n)
+	out[rank] = value
+	if n == 1 {
+		return out
+	}
+	c := w.collState()
+	seq := c.seq[rank]
+	c.seq[rank]++
+
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	// In round k, pass along the value originally owned by (rank-k).
+	carry := value
+	for k := 0; k < n-1; k++ {
+		c.values[collKey{seq: seq, src: rank, dst: right, step: k}] = carry
+		tag := collTagBase + (seq%1024)*64 + k
+		r := w.ranks[rank]
+		sbuf := w.RT.MallocHost(r.Node, r.Socket, collMsgSize)
+		rbuf := w.RT.MallocHost(r.Node, r.Socket, collMsgSize)
+		sendReq := r.Isend(right, tag, sbuf, 0, collMsgSize)
+		recvReq := r.Irecv(left, tag, rbuf, 0, collMsgSize)
+		Waitall(p, sendReq, recvReq)
+		key := collKey{seq: seq, src: left, dst: rank, step: k}
+		carry = c.values[key]
+		delete(c.values, key)
+		out[(rank-k-1+n*8)%n] = carry
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func runCollective(t *testing.T, nodes, ranksPerNode int, body func(p *sim.Proc, w *World, rank int)) {
+	t.Helper()
+	e, _, w := setup(nodes, ranksPerNode, false, false)
+	for r := 0; r < w.Size(); r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) { body(p, w, r) })
+	}
+	e.Run()
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, cfg := range [][2]int{{1, 1}, {1, 2}, {1, 3}, {1, 6}, {2, 6}, {3, 2}} {
+		n := cfg[0] * cfg[1]
+		want := float64(n*(n-1)) / 2 // sum of rank ids
+		results := make([]float64, n)
+		runCollective(t, cfg[0], cfg[1], func(p *sim.Proc, w *World, rank int) {
+			results[rank] = w.Allreduce(p, rank, float64(rank), SumOp)
+		})
+		for r, got := range results {
+			if got != want {
+				t.Errorf("%dx%d: rank %d sum = %g, want %g", cfg[0], cfg[1], r, got, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	const nodes, rpn = 2, 3
+	n := nodes * rpn
+	vals := []float64{3, -7, 12, 0.5, 12, -100}
+	maxes := make([]float64, n)
+	mins := make([]float64, n)
+	runCollective(t, nodes, rpn, func(p *sim.Proc, w *World, rank int) {
+		maxes[rank] = w.Allreduce(p, rank, vals[rank], MaxOp)
+		mins[rank] = w.Allreduce(p, rank, vals[rank], MinOp)
+	})
+	for r := 0; r < n; r++ {
+		if maxes[r] != 12 {
+			t.Errorf("rank %d max = %g", r, maxes[r])
+		}
+		if mins[r] != -100 {
+			t.Errorf("rank %d min = %g", r, mins[r])
+		}
+	}
+}
+
+func TestAllreduceNonPowerOfTwo(t *testing.T) {
+	// 6 ranks exercises the fold-in/fold-out path (p2=4, rem=2).
+	results := make([]float64, 6)
+	runCollective(t, 1, 6, func(p *sim.Proc, w *World, rank int) {
+		results[rank] = w.Allreduce(p, rank, float64(rank+1), SumOp)
+	})
+	for r, got := range results {
+		if got != 21 {
+			t.Errorf("rank %d = %g, want 21", r, got)
+		}
+	}
+}
+
+func TestAllreduceTakesTime(t *testing.T) {
+	// Inter-node rounds must cost more than zero virtual time.
+	var elapsed sim.Time
+	runCollective(t, 4, 1, func(p *sim.Proc, w *World, rank int) {
+		t0 := p.Now()
+		w.Allreduce(p, rank, 1, SumOp)
+		if d := p.Now() - t0; d > elapsed {
+			elapsed = d
+		}
+	})
+	if elapsed <= 0 {
+		t.Error("allreduce completed in zero virtual time")
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for root := 0; root < 6; root++ {
+		results := make([]float64, 6)
+		runCollective(t, 2, 3, func(p *sim.Proc, w *World, rank int) {
+			v := -1.0
+			if rank == root {
+				v = 42.5
+			}
+			results[rank] = w.Bcast(p, rank, root, v)
+		})
+		for r, got := range results {
+			if got != 42.5 {
+				t.Errorf("root %d: rank %d = %g", root, r, got)
+			}
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, cfg := range [][2]int{{1, 1}, {1, 2}, {1, 6}, {2, 3}} {
+		n := cfg[0] * cfg[1]
+		results := make([][]float64, n)
+		runCollective(t, cfg[0], cfg[1], func(p *sim.Proc, w *World, rank int) {
+			results[rank] = w.Allgather(p, rank, float64(rank*rank))
+		})
+		for r := 0; r < n; r++ {
+			for i := 0; i < n; i++ {
+				if results[r][i] != float64(i*i) {
+					t.Errorf("%dx%d: rank %d slot %d = %g, want %g", cfg[0], cfg[1], r, i, results[r][i], float64(i*i))
+				}
+			}
+		}
+	}
+}
+
+func TestCollectiveSequences(t *testing.T) {
+	// Repeated collectives in the same order stay consistent.
+	const n = 4
+	results := make([]float64, n)
+	runCollective(t, 1, 2, func(p *sim.Proc, w *World, rank int) {
+		_ = w.Allreduce(p, rank, float64(rank), SumOp)
+		v := w.Allreduce(p, rank, float64(rank)+10, MaxOp)
+		v = w.Bcast(p, rank, 0, v)
+		results[rank] = v
+	})
+	for r := 0; r < 2; r++ {
+		if results[r] != 11 {
+			t.Errorf("rank %d = %g, want 11", r, results[r])
+		}
+	}
+}
+
+// Property: allreduce(SumOp) equals the serial sum for random values and
+// random rank counts.
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := rng.Intn(3) + 1
+		rpn := []int{1, 2, 3, 6}[rng.Intn(4)]
+		n := nodes * rpn
+		vals := make([]float64, n)
+		var want float64
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			want += vals[i]
+		}
+		results := make([]float64, n)
+		e, _, w := setup(nodes, rpn, false, false)
+		for r := 0; r < n; r++ {
+			r := r
+			e.Spawn("rank", func(p *sim.Proc) {
+				results[r] = w.Allreduce(p, r, vals[r], SumOp)
+			})
+		}
+		e.Run()
+		for _, got := range results {
+			// All ranks agree exactly (same combine order), and the result
+			// matches the serial sum within FP reassociation error.
+			if got != results[0] {
+				return false
+			}
+			if math.Abs(got-want) > 1e-9*(math.Abs(want)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,431 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func setup(nodes, ranksPerNode int, cudaAware, real bool) (*sim.Engine, *cudart.Runtime, *World) {
+	e := sim.NewEngine()
+	m := machine.NewSummit(e, nodes)
+	rt := cudart.NewRuntime(m, real)
+	w := NewWorld(m, rt, ranksPerNode, cudaAware)
+	return e, rt, w
+}
+
+func TestWorldLayout(t *testing.T) {
+	_, _, w := setup(2, 6, false, false)
+	if w.Size() != 12 {
+		t.Fatalf("size = %d, want 12", w.Size())
+	}
+	r7 := w.Rank(7)
+	if r7.Node != 1 {
+		t.Errorf("rank 7 node = %d, want 1", r7.Node)
+	}
+	// 6 ranks over 2 sockets: ranks 0-2 socket 0, ranks 3-5 socket 1.
+	if w.Rank(0).Socket != 0 || w.Rank(2).Socket != 0 || w.Rank(3).Socket != 1 || w.Rank(5).Socket != 1 {
+		t.Error("socket distribution wrong for 6 ranks/node")
+	}
+	// 1 rank per node sits on socket 0.
+	_, _, w1 := setup(1, 1, false, false)
+	if w1.Rank(0).Socket != 0 {
+		t.Error("single rank should sit on socket 0")
+	}
+}
+
+func TestSendRecvHostIntraNode(t *testing.T) {
+	e, rt, w := setup(1, 2, false, true)
+	src := rt.MallocHost(0, 0, 64)
+	dst := rt.MallocHost(0, 1, 64)
+	for i := range src.Data() {
+		src.Data()[i] = byte(i + 1)
+	}
+	e.Spawn("r0", func(p *sim.Proc) {
+		req := w.Rank(0).Isend(1, 7, src, 0, 64)
+		req.Wait(p)
+	})
+	e.Spawn("r1", func(p *sim.Proc) {
+		req := w.Rank(1).Irecv(0, 7, dst, 0, 64)
+		req.Wait(p)
+	})
+	e.Run()
+	for i := 0; i < 64; i++ {
+		if dst.Data()[i] != byte(i+1) {
+			t.Fatalf("byte %d not delivered", i)
+		}
+	}
+}
+
+func TestSendBeforeRecvAndRecvBeforeSend(t *testing.T) {
+	for _, sendFirst := range []bool{true, false} {
+		e, rt, w := setup(1, 2, false, true)
+		src := rt.MallocHost(0, 0, 16)
+		dst := rt.MallocHost(0, 1, 16)
+		src.Data()[3] = 42
+		var sendAt, recvAt sim.Time
+		if sendFirst {
+			sendAt, recvAt = 0, 0.001
+		} else {
+			sendAt, recvAt = 0.001, 0
+		}
+		e.Spawn("r0", func(p *sim.Proc) {
+			p.Sleep(sendAt)
+			w.Rank(0).Isend(1, 1, src, 0, 16).Wait(p)
+		})
+		e.Spawn("r1", func(p *sim.Proc) {
+			p.Sleep(recvAt)
+			w.Rank(1).Irecv(0, 1, dst, 0, 16).Wait(p)
+		})
+		e.Run()
+		if dst.Data()[3] != 42 {
+			t.Errorf("sendFirst=%v: message not delivered", sendFirst)
+		}
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	e, rt, w := setup(1, 2, false, true)
+	a := rt.MallocHost(0, 0, 8)
+	b := rt.MallocHost(0, 0, 8)
+	ra := rt.MallocHost(0, 1, 8)
+	rb := rt.MallocHost(0, 1, 8)
+	a.Data()[0] = 10
+	b.Data()[0] = 20
+	e.Spawn("r0", func(p *sim.Proc) {
+		// Send tag 2 first, then tag 1: matching must respect tags, not
+		// arrival order.
+		r1 := w.Rank(0).Isend(1, 2, b, 0, 8)
+		r2 := w.Rank(0).Isend(1, 1, a, 0, 8)
+		Waitall(p, r1, r2)
+	})
+	e.Spawn("r1", func(p *sim.Proc) {
+		r1 := w.Rank(1).Irecv(0, 1, ra, 0, 8)
+		r2 := w.Rank(1).Irecv(0, 2, rb, 0, 8)
+		Waitall(p, r1, r2)
+	})
+	e.Run()
+	if ra.Data()[0] != 10 || rb.Data()[0] != 20 {
+		t.Errorf("tag matching delivered wrong payloads: %d %d", ra.Data()[0], rb.Data()[0])
+	}
+}
+
+func TestSameTagFIFO(t *testing.T) {
+	e, rt, w := setup(1, 2, false, true)
+	bufs := make([]*cudart.Buffer, 3)
+	recvs := make([]*cudart.Buffer, 3)
+	for i := range bufs {
+		bufs[i] = rt.MallocHost(0, 0, 8)
+		bufs[i].Data()[0] = byte(i + 1)
+		recvs[i] = rt.MallocHost(0, 1, 8)
+	}
+	e.Spawn("r0", func(p *sim.Proc) {
+		var reqs []*Request
+		for i := range bufs {
+			reqs = append(reqs, w.Rank(0).Isend(1, 5, bufs[i], 0, 8))
+		}
+		Waitall(p, reqs...)
+	})
+	e.Spawn("r1", func(p *sim.Proc) {
+		var reqs []*Request
+		for i := range recvs {
+			reqs = append(reqs, w.Rank(1).Irecv(0, 5, recvs[i], 0, 8))
+		}
+		Waitall(p, reqs...)
+	})
+	e.Run()
+	for i := range recvs {
+		if recvs[i].Data()[0] != byte(i+1) {
+			t.Errorf("same-tag message %d out of order: got %d", i, recvs[i].Data()[0])
+		}
+	}
+}
+
+func TestInterNodeTransfer(t *testing.T) {
+	e, rt, w := setup(2, 1, false, true)
+	src := rt.MallocHost(0, 0, 125<<20) // 125 MiB
+	dst := rt.MallocHost(1, 0, 125<<20)
+	src.Data()[99] = 7
+	var done sim.Time
+	e.Spawn("r0", func(p *sim.Proc) { w.Rank(0).Isend(1, 0, src, 0, 125<<20).Wait(p) })
+	e.Spawn("r1", func(p *sim.Proc) {
+		w.Rank(1).Irecv(0, 0, dst, 0, 125<<20).Wait(p)
+		done = p.Now()
+	})
+	e.Run()
+	if dst.Data()[99] != 7 {
+		t.Fatal("inter-node payload lost")
+	}
+	// 125 MiB over the 25 GB/s dual-rail NIC ≈ 5.2 ms; host memory links are
+	// faster so the NIC is the bottleneck.
+	wire := float64(125<<20) / (25 * machine.GB)
+	if done < wire || done > wire*1.2 {
+		t.Errorf("inter-node transfer took %g, want ≈%g", done, wire)
+	}
+}
+
+func TestIntraNodeProgressSerialization(t *testing.T) {
+	// Two messages to the same rank serialize on its progress engine; two
+	// messages to different ranks overlap. This is the mechanism behind the
+	// paper's ranks-per-node observations for STAGED.
+	run := func(twoReceivers bool) sim.Time {
+		e, rt, w := setup(1, 3, false, false)
+		const bytes = 60 << 20
+		mk := func(node, socket int) *cudart.Buffer { return rt.MallocHost(node, socket, bytes) }
+		var finish sim.Time
+		dst1 := 1
+		dst2 := 1
+		if twoReceivers {
+			dst2 = 2
+		}
+		e.Spawn("send0", func(p *sim.Proc) { w.Rank(0).Isend(dst1, 0, mk(0, 0), 0, bytes).Wait(p) })
+		e.Spawn("send1", func(p *sim.Proc) { w.Rank(0).Isend(dst2, 1, mk(0, 0), 0, bytes).Wait(p) })
+		e.Spawn("recv1", func(p *sim.Proc) {
+			w.Rank(dst1).Irecv(0, 0, mk(0, 0), 0, bytes).Wait(p)
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+		e.Spawn("recv2", func(p *sim.Proc) {
+			w.Rank(dst2).Irecv(0, 1, mk(0, 0), 0, bytes).Wait(p)
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+		e.Run()
+		return finish
+	}
+	serial := run(false)
+	parallel := run(true)
+	if parallel >= serial*0.95 {
+		t.Errorf("messages to distinct ranks (%.6f) should beat same-rank serialization (%.6f)", parallel, serial)
+	}
+}
+
+func TestDeviceBufferRequiresCudaAware(t *testing.T) {
+	_, rt, w := setup(1, 2, false, false)
+	dbuf := rt.DeviceAt(0, 0).Malloc(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("device buffer without CUDA-aware did not panic")
+		}
+	}()
+	w.Rank(0).Isend(1, 0, dbuf, 0, 64)
+}
+
+func TestCudaAwareTransferDelivers(t *testing.T) {
+	e, rt, w := setup(2, 1, true, true)
+	src := rt.DeviceAt(0, 0).Malloc(1 << 20)
+	dst := rt.DeviceAt(1, 0).Malloc(1 << 20)
+	src.Data()[12345] = 99
+	e.Spawn("r0", func(p *sim.Proc) { w.Rank(0).Isend(1, 0, src, 0, 1<<20).Wait(p) })
+	e.Spawn("r1", func(p *sim.Proc) { w.Rank(1).Irecv(0, 0, dst, 0, 1<<20).Wait(p) })
+	e.Run()
+	if dst.Data()[12345] != 99 {
+		t.Error("CUDA-aware payload lost")
+	}
+}
+
+func TestCudaAwareSlowerThanHostForManySmallMessages(t *testing.T) {
+	// The per-message pathologies (handle exchange, default-stream
+	// serialization, device sync) make many small CUDA-aware messages slower
+	// than the same messages through host buffers.
+	const n = 20
+	const bytes = 64 << 10
+	runCA := func() sim.Time {
+		e, rt, w := setup(2, 1, true, false)
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			i := i
+			e.Spawn("s", func(p *sim.Proc) { w.Rank(0).Isend(1, i, rt.DeviceAt(0, 0).Malloc(bytes), 0, bytes).Wait(p) })
+			e.Spawn("r", func(p *sim.Proc) {
+				w.Rank(1).Irecv(0, i, rt.DeviceAt(1, 0).Malloc(bytes), 0, bytes).Wait(p)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		e.Run()
+		return last
+	}
+	runHost := func() sim.Time {
+		e, rt, w := setup(2, 1, false, false)
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			i := i
+			e.Spawn("s", func(p *sim.Proc) { w.Rank(0).Isend(1, i, rt.MallocHost(0, 0, bytes), 0, bytes).Wait(p) })
+			e.Spawn("r", func(p *sim.Proc) {
+				w.Rank(1).Irecv(0, i, rt.MallocHost(1, 0, bytes), 0, bytes).Wait(p)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		e.Run()
+		return last
+	}
+	ca, host := runCA(), runHost()
+	if ca <= host {
+		t.Errorf("CUDA-aware (%.6f) should be slower than host (%.6f) for many small messages", ca, host)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e, _, w := setup(1, 6, false, false)
+	var release []sim.Time
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn("r", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 0.01) // staggered arrival, last at 0.05
+			w.Barrier(p)
+			release = append(release, p.Now())
+		})
+	}
+	e.Run()
+	if len(release) != 6 {
+		t.Fatalf("released %d ranks, want 6", len(release))
+	}
+	for _, r := range release {
+		if r < 0.05 {
+			t.Errorf("rank released at %g before last arrival at 0.05", r)
+		}
+		if r != release[0] {
+			t.Errorf("ranks released at different times: %v", release)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e, _, w := setup(1, 2, false, false)
+	counts := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn("r", func(p *sim.Proc) {
+			w.Barrier(p)
+			w.Barrier(p)
+			counts++
+		})
+	}
+	e.Run()
+	if counts != 2 {
+		t.Errorf("double barrier completed for %d ranks, want 2", counts)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	e, _, w := setup(1, 4, false, false)
+	ar := NewAllreducer(w)
+	results := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("r", func(p *sim.Proc) {
+			results[i] = ar.MaxFloat(p, float64(i*i))
+		})
+	}
+	e.Run()
+	for i, r := range results {
+		if r != 9 {
+			t.Errorf("rank %d allreduce max = %g, want 9", i, r)
+		}
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	e, rt, w := setup(1, 2, false, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+		_ = e
+	}()
+	w.Rank(1).Irecv(0, 0, rt.MallocHost(0, 0, 32), 0, 32)
+	w.Rank(0).Isend(1, 0, rt.MallocHost(0, 0, 64), 0, 64)
+}
+
+// Property: random permutations of send/recv posting order always deliver
+// every payload to the matching receive.
+func TestMatchingPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, rt, w := setup(1, 2, false, true)
+		n := rng.Intn(6) + 2
+		sends := make([]*cudart.Buffer, n)
+		recvBufs := make([]*cudart.Buffer, n)
+		for i := 0; i < n; i++ {
+			sends[i] = rt.MallocHost(0, 0, 8)
+			sends[i].Data()[0] = byte(i + 1)
+			recvBufs[i] = rt.MallocHost(0, 1, 8)
+		}
+		sendOrder := rng.Perm(n)
+		recvOrder := rng.Perm(n)
+		e.Spawn("s", func(p *sim.Proc) {
+			var reqs []*Request
+			for _, i := range sendOrder {
+				reqs = append(reqs, w.Rank(0).Isend(1, i, sends[i], 0, 8))
+			}
+			Waitall(p, reqs...)
+		})
+		e.Spawn("r", func(p *sim.Proc) {
+			var reqs []*Request
+			for _, i := range recvOrder {
+				reqs = append(reqs, w.Rank(1).Irecv(0, i, recvBufs[i], 0, 8))
+			}
+			Waitall(p, reqs...)
+		})
+		e.Run()
+		for i := 0; i < n; i++ {
+			if recvBufs[i].Data()[0] != byte(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inter-node transfer time is monotone nondecreasing in message
+// size.
+func TestTransferMonotoneProperty(t *testing.T) {
+	measure := func(bytes int64) sim.Time {
+		e, rt, w := setup(2, 1, false, false)
+		var done sim.Time
+		e.Spawn("s", func(p *sim.Proc) { w.Rank(0).Isend(1, 0, rt.MallocHost(0, 0, bytes), 0, bytes).Wait(p) })
+		e.Spawn("r", func(p *sim.Proc) {
+			w.Rank(1).Irecv(0, 0, rt.MallocHost(1, 0, bytes), 0, bytes).Wait(p)
+			done = p.Now()
+		})
+		e.Run()
+		return done
+	}
+	f := func(a, b uint32) bool {
+		x, y := int64(a%(1<<26))+1, int64(b%(1<<26))+1
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := measure(x), measure(y)
+		return tx <= ty+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWtimeAdvances(t *testing.T) {
+	e, _, w := setup(1, 1, false, false)
+	var t0, t1 float64
+	e.Spawn("r", func(p *sim.Proc) {
+		t0 = w.Wtime()
+		p.Sleep(0.25)
+		t1 = w.Wtime()
+	})
+	e.Run()
+	if math.Abs((t1-t0)-0.25) > 1e-12 {
+		t.Errorf("Wtime delta = %g, want 0.25", t1-t0)
+	}
+}

@@ -1,0 +1,92 @@
+package nvml
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func TestDiscoverSummit(t *testing.T) {
+	e := sim.NewEngine()
+	m := machine.NewSummit(e, 1)
+	topo := Discover(m.Nodes[0])
+	if topo.NumGPUs != 6 {
+		t.Fatalf("NumGPUs = %d, want 6", topo.NumGPUs)
+	}
+	// Intra-triad pairs report NVLink-class bandwidth, cross-socket SYS.
+	if topo.Kind[0][1] != machine.LinkNVLink {
+		t.Errorf("Kind[0][1] = %v, want NVLINK", topo.Kind[0][1])
+	}
+	if topo.Kind[0][3] != machine.LinkSys {
+		t.Errorf("Kind[0][3] = %v, want SYS", topo.Kind[0][3])
+	}
+	if topo.Bandwidth[0][1] <= topo.Bandwidth[0][3] {
+		t.Errorf("NVLink bw %g should exceed SYS bw %g", topo.Bandwidth[0][1], topo.Bandwidth[0][3])
+	}
+}
+
+func TestDiscoverSymmetry(t *testing.T) {
+	e := sim.NewEngine()
+	m := machine.NewSummit(e, 1)
+	topo := Discover(m.Nodes[0])
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if topo.Bandwidth[i][j] != topo.Bandwidth[j][i] {
+				t.Errorf("bandwidth asymmetric at (%d,%d)", i, j)
+			}
+			if topo.Kind[i][j] != topo.Kind[j][i] {
+				t.Errorf("kind asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMeasureBandwidthMatchesLinkClasses(t *testing.T) {
+	e := sim.NewEngine()
+	m := machine.NewSummit(e, 1)
+	rt := cudart.NewRuntime(m, false)
+	topo := MeasureBandwidth(rt, 0, 64<<20)
+	// Measured intra-triad bandwidth must exceed cross-socket (launch
+	// overheads eat into both, but the 46 GB/s dedicated NVLink beats the
+	// 3-hop cross-socket path).
+	if topo.Bandwidth[0][1] <= topo.Bandwidth[0][3] {
+		t.Errorf("measured NVLink %g <= SYS %g", topo.Bandwidth[0][1], topo.Bandwidth[0][3])
+	}
+	// Achieved must not exceed theoretical link capacity.
+	if topo.Bandwidth[0][1] > 46*machine.GB {
+		t.Errorf("measured %g exceeds link capacity", topo.Bandwidth[0][1])
+	}
+	// Probe-measured bandwidth should be within 20%% of capacity at 64 MiB.
+	if topo.Bandwidth[0][1] < 0.8*46*machine.GB {
+		t.Errorf("measured %g implausibly low", topo.Bandwidth[0][1])
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	e := sim.NewEngine()
+	m := machine.NewSummit(e, 1)
+	topo := Discover(m.Nodes[0])
+	s := topo.String()
+	if !strings.Contains(s, "NVLINK") || !strings.Contains(s, "SYS") {
+		t.Errorf("rendered topology missing link classes:\n%s", s)
+	}
+	bs := topo.BandwidthString()
+	if !strings.Contains(bs, "46.0") {
+		t.Errorf("bandwidth matrix missing NVLink figure:\n%s", bs)
+	}
+}
+
+func TestDiscoverFourGPUNode(t *testing.T) {
+	e := sim.NewEngine()
+	m := machine.New(e, 1, machine.NodeConfig{Sockets: 2, GPUsPerSocket: 2}, machine.DefaultParams())
+	topo := Discover(m.Nodes[0])
+	if topo.NumGPUs != 4 {
+		t.Fatalf("NumGPUs = %d, want 4", topo.NumGPUs)
+	}
+	if topo.Kind[0][1] != machine.LinkNVLink || topo.Kind[1][2] != machine.LinkSys {
+		t.Error("4-GPU node link classes wrong")
+	}
+}

@@ -1,0 +1,35 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInstance(n int) (w, d [][]float64) {
+	rng := rand.New(rand.NewSource(1))
+	return randomInstance(rng, n)
+}
+
+func BenchmarkSolveExhaustive6(b *testing.B) {
+	w, d := benchInstance(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(w, d)
+	}
+}
+
+func BenchmarkSolveExhaustive8(b *testing.B) {
+	w, d := benchInstance(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(w, d)
+	}
+}
+
+func BenchmarkSolveHeuristic16(b *testing.B) {
+	w, d := benchInstance(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveHeuristic(w, d)
+	}
+}

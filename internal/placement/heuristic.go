@@ -1,0 +1,129 @@
+package placement
+
+// The exhaustive QAP solver is fine for the 4-8 GPUs of today's nodes (the
+// paper's argument, §III-B), but a node shape with 12 or 16 accelerators
+// would make n! intractable. SolveHeuristic provides a deterministic
+// multi-start hill climber with pairwise-swap moves: each start seeds a
+// greedy construction from a different high-flow subdomain, then 2-opt swaps
+// run to a local minimum. SolveAuto picks exhaustive search when n is small
+// enough and the heuristic otherwise.
+
+// exhaustiveLimit is the largest n solved exactly (8! = 40320 evaluations).
+const exhaustiveLimit = 8
+
+// SolveAuto returns the exact optimum for small instances and the heuristic
+// answer for larger ones.
+func SolveAuto(w, d [][]float64) ([]int, float64) {
+	if len(w) <= exhaustiveLimit {
+		return Solve(w, d)
+	}
+	return SolveHeuristic(w, d)
+}
+
+// SolveHeuristic runs n deterministic greedy-plus-2-opt starts and returns
+// the best assignment found.
+func SolveHeuristic(w, d [][]float64) ([]int, float64) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0
+	}
+	best := Trivial(n)
+	bestCost := Cost(w, d, best)
+	for start := 0; start < n; start++ {
+		f := greedyConstruct(w, d, start)
+		c := twoOpt(w, d, f)
+		if c < bestCost {
+			bestCost = c
+			copy(best, f)
+		}
+	}
+	return best, bestCost
+}
+
+// greedyConstruct seeds subdomain `seed` on the GPU with the best total
+// connectivity, then repeatedly places the unplaced subdomain with the most
+// flow to already-placed ones onto the free GPU minimizing incremental cost.
+func greedyConstruct(w, d [][]float64, seed int) []int {
+	n := len(w)
+	f := make([]int, n)
+	for i := range f {
+		f[i] = -1
+	}
+	usedGPU := make([]bool, n)
+
+	// Put the seed subdomain on the GPU with the smallest total distance
+	// (best-connected device).
+	bestGPU, bestScore := 0, 0.0
+	for g := 0; g < n; g++ {
+		var s float64
+		for h := 0; h < n; h++ {
+			s += d[g][h]
+		}
+		if g == 0 || s < bestScore {
+			bestGPU, bestScore = g, s
+		}
+	}
+	f[seed] = bestGPU
+	usedGPU[bestGPU] = true
+
+	for placed := 1; placed < n; placed++ {
+		// Most-connected unplaced subdomain relative to placed ones.
+		cand, candFlow := -1, -1.0
+		for s := 0; s < n; s++ {
+			if f[s] >= 0 {
+				continue
+			}
+			var fl float64
+			for t := 0; t < n; t++ {
+				if f[t] >= 0 {
+					fl += w[s][t] + w[t][s]
+				}
+			}
+			if fl > candFlow {
+				cand, candFlow = s, fl
+			}
+		}
+		// Cheapest free GPU for it.
+		bestG, bestC := -1, 0.0
+		for g := 0; g < n; g++ {
+			if usedGPU[g] {
+				continue
+			}
+			var c float64
+			for t := 0; t < n; t++ {
+				if f[t] >= 0 {
+					c += w[cand][t]*d[g][f[t]] + w[t][cand]*d[f[t]][g]
+				}
+			}
+			if bestG < 0 || c < bestC {
+				bestG, bestC = g, c
+			}
+		}
+		f[cand] = bestG
+		usedGPU[bestG] = true
+	}
+	return f
+}
+
+// twoOpt swaps pairs of assignments while any swap improves the cost,
+// returning the final cost. Deterministic: scans pairs in index order and
+// applies the first improving swap each pass.
+func twoOpt(w, d [][]float64, f []int) float64 {
+	cost := Cost(w, d, f)
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < len(f); i++ {
+			for j := i + 1; j < len(f); j++ {
+				f[i], f[j] = f[j], f[i]
+				if c := Cost(w, d, f); c < cost {
+					cost = c
+					improved = true
+				} else {
+					f[i], f[j] = f[j], f[i]
+				}
+			}
+		}
+	}
+	return cost
+}

@@ -1,0 +1,113 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInstance(rng *rand.Rand, n int) (w, d [][]float64) {
+	w = make([][]float64, n)
+	d = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, n)
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			fw := rng.Float64() * 100
+			fd := rng.Float64() + 0.01
+			w[i][j], w[j][i] = fw, fw
+			d[i][j], d[j][i] = fd, fd
+		}
+	}
+	return w, d
+}
+
+func TestHeuristicMatchesExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exactHits := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		n := rng.Intn(4) + 3 // 3..6
+		w, d := randomInstance(rng, n)
+		_, optCost := Solve(w, d)
+		_, hCost := SolveHeuristic(w, d)
+		if hCost < optCost-1e-9 {
+			t.Fatalf("heuristic beat the exhaustive optimum: %g < %g", hCost, optCost)
+		}
+		if hCost <= optCost*1.10+1e-12 {
+			exactHits++
+		}
+	}
+	// Multi-start 2-opt should land within 10% of optimal almost always on
+	// these tiny instances.
+	if exactHits < trials*9/10 {
+		t.Errorf("heuristic within 10%% of optimum only %d/%d times", exactHits, trials)
+	}
+}
+
+func TestHeuristicValidPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		w, d := randomInstance(rng, n)
+		f1, c := SolveHeuristic(w, d)
+		seen := make([]bool, n)
+		for _, g := range f1 {
+			if g < 0 || g >= n || seen[g] {
+				return false
+			}
+			seen[g] = true
+		}
+		// Never worse than trivial (trivial is one of the climbing outcomes'
+		// upper bounds: 2-opt only improves, and best-of includes trivial
+		// comparison).
+		return c <= Cost(w, d, Trivial(n))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAutoSwitchesAtLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Small: SolveAuto must equal Solve exactly.
+	w, d := randomInstance(rng, 5)
+	fa, ca := SolveAuto(w, d)
+	_, ce := Solve(w, d)
+	if ca != ce {
+		t.Errorf("SolveAuto cost %g != exhaustive %g", ca, ce)
+	}
+	if len(fa) != 5 {
+		t.Error("bad assignment length")
+	}
+	// Large: must terminate quickly and return a valid permutation.
+	w, d = randomInstance(rng, 16)
+	f16, c16 := SolveAuto(w, d)
+	seen := make([]bool, 16)
+	for _, g := range f16 {
+		if seen[g] {
+			t.Fatal("not a permutation")
+		}
+		seen[g] = true
+	}
+	if c16 > Cost(w, d, Trivial(16))+1e-9 {
+		t.Error("16-GPU heuristic worse than trivial")
+	}
+}
+
+func TestHeuristicDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w, d := randomInstance(rng, 12)
+	f1, c1 := SolveHeuristic(w, d)
+	f2, c2 := SolveHeuristic(w, d)
+	if c1 != c2 {
+		t.Fatalf("costs differ across runs: %g vs %g", c1, c2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("assignments differ across runs")
+		}
+	}
+}

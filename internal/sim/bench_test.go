@@ -1,0 +1,23 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+	}
+	e.Run()
+}
+
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

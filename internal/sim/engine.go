@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and executes two kinds of work:
+//
+//   - Events: plain callbacks scheduled at a virtual time (Engine.At,
+//     Engine.After). Events may be cancelled before they fire.
+//   - Processes: goroutines that execute simulated "blocking" code
+//     (Proc.Sleep, Signal.Wait, Resource.Acquire). Exactly one process or
+//     event callback runs at any real instant, so simulated code needs no
+//     locking and runs are fully deterministic.
+//
+// The scheduling discipline is cooperative: the engine resumes a runnable
+// process, the process runs until it parks on a simulated primitive, and
+// control returns to the engine. When no process is runnable the engine pops
+// the earliest pending event, advances the clock to it, and fires it. Ties in
+// time are broken by insertion order (FIFO), which keeps runs reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on the virtual clock, in seconds.
+type Time = float64
+
+// Event is a scheduled callback. It is returned by At/After so callers can
+// cancel it before it fires; firing a cancelled event is a no-op.
+type Event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, -1 once popped
+	eng       *Engine
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is harmless. The event is removed from the queue
+// eagerly so heavy reschedulers (the flow network) don't flood the heap with
+// dead entries.
+func (ev *Event) Cancel() {
+	ev.cancelled = true
+	if ev.index >= 0 && ev.eng != nil {
+		heap.Remove(&ev.eng.queue, ev.index)
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// When returns the virtual time the event is scheduled for.
+func (ev *Event) When() Time { return ev.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock, the pending-event queue, and the set of
+// runnable processes. An Engine is not safe for concurrent use from multiple
+// goroutines other than through the Proc primitives it hands out.
+type Engine struct {
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	runnable []*Proc
+	parked   chan *Proc // handoff channel: a proc announces it has parked or exited
+	running  bool
+	nprocs   int // live (spawned, not yet exited) processes
+	trace    func(t Time, msg string)
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan *Proc)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a debug trace hook invoked by Tracef. A nil hook disables
+// tracing.
+func (e *Engine) SetTrace(fn func(t Time, msg string)) { e.trace = fn }
+
+// Tracef emits a formatted trace line at the current virtual time if a trace
+// hook is installed.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t < Now)
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %g < %g", t, e.now))
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn, eng: e}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run drives the simulation until no runnable processes remain and the event
+// queue is empty, then returns the final virtual time. Processes that are
+// still parked at that point are deadlocked; Run panics to surface the bug
+// rather than returning silently wrong results.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Engine.Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for {
+		// Drain runnable processes first: events at the current time have
+		// already fired, and woken processes should observe that state.
+		for len(e.runnable) > 0 {
+			p := e.runnable[0]
+			e.runnable = e.runnable[1:]
+			p.resume <- struct{}{}
+			<-e.parked // p has parked again or exited
+		}
+		if len(e.queue) == 0 {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: clock went backwards")
+		}
+		e.now = ev.when
+		ev.fn()
+	}
+	if e.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still parked with no pending events", e.nprocs))
+	}
+	return e.now
+}
+
+// makeRunnable appends p to the runnable queue. Idempotence is the caller's
+// responsibility: a process must be parked when this is called.
+func (e *Engine) makeRunnable(p *Proc) {
+	if p.exited {
+		panic("sim: waking exited process " + p.name)
+	}
+	e.runnable = append(e.runnable, p)
+}
+
+// Proc is a simulated process: a goroutine whose apparent blocking operations
+// (Sleep, Wait, Acquire) park it and return control to the engine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	exited bool
+}
+
+// Spawn creates a process executing fn and marks it runnable. fn starts
+// running once Run reaches it; Spawn itself never executes user code.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume // wait to be scheduled the first time
+		fn(p)
+		p.exited = true
+		e.nprocs--
+		e.parked <- p
+	}()
+	e.makeRunnable(p)
+	return p
+}
+
+// Name returns the debug name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park yields control to the engine and blocks until something calls
+// makeRunnable(p) and the engine resumes it.
+func (p *Proc) park() {
+	p.eng.parked <- p
+	<-p.resume
+}
+
+// Sleep suspends the process for d seconds of virtual time. Zero is allowed
+// and acts as a yield-and-requeue at the current time; negative panics.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %g in %s", d, p.name))
+	}
+	e := p.eng
+	e.After(d, func() { e.makeRunnable(p) })
+	p.park()
+}
+
+// Yield reschedules the process behind other currently-runnable processes
+// without advancing time.
+func (p *Proc) Yield() {
+	p.eng.makeRunnable(p)
+	p.park()
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+)
+
+func sampleOps() []cudart.OpRecord {
+	return []cudart.OpRecord{
+		{Kind: cudart.OpKernel, Name: "pack", Device: 0, Stream: "d0.s1", Start: 0.001, End: 0.002, Bytes: 100},
+		{Kind: cudart.OpMemcpyD2D, Name: "cp", Device: 0, Stream: "d0.s1", Start: 0.002, End: 0.004, Bytes: 100},
+		{Kind: cudart.OpKernel, Name: "unpack", Device: 1, Stream: "d1.s1", Start: 0.004, End: 0.005, Bytes: 100},
+		{Kind: cudart.OpMemcpyD2H, Name: "d2h", Device: 1, Stream: "d1.s2", Start: 0.001, End: 0.003, Bytes: 50},
+	}
+}
+
+func TestSpanAndStats(t *testing.T) {
+	tl := New(sampleOps())
+	start, end := tl.Span()
+	if start != 0.001 || end != 0.005 {
+		t.Errorf("span = [%g, %g], want [0.001, 0.005]", start, end)
+	}
+	s := tl.ComputeStats()
+	if s.Ops != 4 || s.Devices != 2 || s.Streams != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	wantBusy := 0.001 + 0.002 + 0.001 + 0.002
+	if diff := s.BusyTime - wantBusy; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("busy = %g, want %g", s.BusyTime, wantBusy)
+	}
+	if s.Overlap <= 1 {
+		t.Errorf("overlap = %g, want > 1 (ops overlap in this sample)", s.Overlap)
+	}
+	if s.TotalBytes != 350 {
+		t.Errorf("bytes = %d", s.TotalBytes)
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := New(nil)
+	if s := tl.ComputeStats(); s.Ops != 0 || s.Overlap != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	var buf bytes.Buffer
+	tl.RenderASCII(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty timeline not reported")
+	}
+}
+
+func TestSortedByDeviceStream(t *testing.T) {
+	tl := New(sampleOps())
+	for i := 1; i < len(tl.Ops); i++ {
+		a, b := tl.Ops[i-1], tl.Ops[i]
+		if a.Device > b.Device {
+			t.Fatal("not sorted by device")
+		}
+		if a.Device == b.Device && a.Stream > b.Stream {
+			t.Fatal("not sorted by stream")
+		}
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tl := New(sampleOps())
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			PID   int     `json:"pid"`
+			TID   string  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" || ev.Dur <= 0 {
+			t.Errorf("bad event %+v", ev)
+		}
+	}
+	// Timestamps are rebased to the span start in microseconds.
+	first := doc.TraceEvents[0]
+	if first.TS != 0 {
+		t.Errorf("first event ts = %g, want 0", first.TS)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	tl := New(sampleOps())
+	var buf bytes.Buffer
+	tl.RenderASCII(&buf, 60)
+	out := buf.String()
+	for _, want := range []string{"d0.s1", "d1.s1", "d1.s2", "K", "P", "v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // 3 stream rows + time footer
+		t.Errorf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+}

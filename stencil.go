@@ -1,0 +1,320 @@
+// Package stencil is a node-aware 3D stencil halo-exchange library for
+// heterogeneous (multi-socket, multi-GPU) clusters, reproducing "Node-Aware
+// Stencil Communication for Heterogeneous Supercomputers" (IPPS 2020) on a
+// simulated hardware substrate.
+//
+// A DistributedDomain runs the paper's three-phase setup automatically:
+//
+//  1. Partitioning — hierarchical prime-factor recursive bisection,
+//     first across nodes, then across the GPUs of each node, minimizing
+//     surface-to-volume ratio at the slow links first.
+//  2. Placement — per-node quadratic-assignment of subdomains to GPUs,
+//     matching exchange volume to discovered link bandwidth.
+//  3. Specialization — per-neighbor selection of the fastest applicable
+//     transfer method (KERNEL, PEERMEMCPY, COLOCATEDMEMCPY, CUDAAWAREMPI,
+//     STAGED).
+//
+// Because no CUDA devices or MPI launchers exist in this environment, the
+// library executes on a deterministic discrete-event simulation of a
+// Summit-like cluster (see internal/machine). Exchanges move real bytes when
+// Config.RealData is set, so numerical results are bit-exact verifiable,
+// and every operation advances a virtual clock calibrated to the paper's
+// platform, so the performance characteristics are reproducible.
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/nodeaware/stencil/internal/exchange"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/part"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// Dim3 is a 3D extent or index.
+type Dim3 = part.Dim3
+
+// Capabilities selects which transfer methods the library may use, mirroring
+// the paper's "+remote/+colo/+peer/+kernel" ladder. The zero value enables
+// only remote (MPI) transfers.
+type Capabilities = exchange.Capabilities
+
+// Capability ladder constructors.
+var (
+	CapsRemote = exchange.CapsRemote
+	CapsColo   = exchange.CapsColo
+	CapsPeer   = exchange.CapsPeer
+	CapsAll    = exchange.CapsAll
+)
+
+// Method identifies a transfer method in statistics.
+type Method = exchange.Method
+
+// Exported method constants.
+const (
+	MethodKernel    = exchange.MethodKernel
+	MethodPeer      = exchange.MethodPeer
+	MethodColocated = exchange.MethodColocated
+	MethodCudaAware = exchange.MethodCudaAware
+	MethodStaged    = exchange.MethodStaged
+)
+
+// Stats reports measured exchange times and the method breakdown.
+type Stats = exchange.Stats
+
+// Config describes a distributed stencil job.
+type Config struct {
+	// Nodes and RanksPerNode shape the job; every node has six GPUs in the
+	// default (Summit) node configuration. RanksPerNode must divide the
+	// GPUs per node.
+	Nodes        int
+	RanksPerNode int
+
+	// Domain is the global grid extent; Radius the stencil radius;
+	// Quantities the number of grid quantities (e.g. 4 for a fluid code).
+	Domain     Dim3
+	Radius     int
+	Quantities int
+
+	// ElemSize is the bytes per value; 0 defaults to 4 (single precision).
+	ElemSize int
+
+	// Capabilities gates the transfer methods; use CapsAll() for the fully
+	// specialized exchange.
+	Capabilities Capabilities
+
+	// CUDAAware routes remote messages through CUDA-aware MPI instead of
+	// staging through the host.
+	CUDAAware bool
+
+	// TrivialPlacement disables the node-aware QAP placement (the Fig 11
+	// baseline). Default (false) is node-aware.
+	TrivialPlacement bool
+
+	// RealData allocates backing memory and moves real bytes; required for
+	// numeric verification, affordable only for small domains.
+	RealData bool
+
+	// FaceOnly exchanges only the six face neighbors (Fig 1(a) stencils).
+	FaceOnly bool
+
+	// Neighborhood selects the exchanged direction set by count: 0 or 26 for
+	// the full neighborhood, 6 for faces only (Fig 1(a)), 18 for faces plus
+	// planar diagonals (Fig 1(b)).
+	Neighborhood int
+
+	// OpenBoundary disables periodic wrap-around: subdomains at the domain
+	// edge have no neighbor there and their outer halos are left untouched
+	// (suitable for Dirichlet/Neumann conditions applied by the
+	// application).
+	OpenBoundary bool
+
+	// AggregateRemote combines each rank pair's inter-node STAGED messages
+	// into a single MPI message per exchange (fewer, larger messages).
+	AggregateRemote bool
+
+	// NoOverlap serializes all transfers (ablation of the §III-D overlap
+	// machinery).
+	NoOverlap bool
+
+	// EmpiricalPlacement drives the QAP with a congestion-aware bandwidth
+	// measurement pass instead of the vendor topology query.
+	EmpiricalPlacement bool
+
+	// FairnessHorizon bounds bandwidth-rebalance propagation in the flow
+	// network: 0 = automatic (exact up to 32 nodes), negative = force
+	// exact, positive = explicit hop bound.
+	FairnessHorizon int
+
+	// NodeConfig and Params override the simulated hardware; nil uses the
+	// Summit node and the calibrated default cost model.
+	NodeConfig *machine.NodeConfig
+	Params     *machine.Params
+
+	// TraceOps records a timeline of every simulated CUDA operation.
+	TraceOps bool
+}
+
+// DistributedDomain is a stencil domain decomposed across a simulated
+// multi-GPU cluster, ready to exchange halos.
+type DistributedDomain struct {
+	ex   *exchange.Exchanger
+	cfg  Config
+	subs []*Subdomain
+}
+
+// New partitions, places, and specializes the domain per the configuration.
+func New(cfg Config) (*DistributedDomain, error) {
+	if cfg.ElemSize == 0 {
+		cfg.ElemSize = 4
+	}
+	ex, err := exchange.New(exchange.Options{
+		Nodes:              cfg.Nodes,
+		RanksPerNode:       cfg.RanksPerNode,
+		Domain:             cfg.Domain,
+		Radius:             cfg.Radius,
+		Quantities:         cfg.Quantities,
+		ElemSize:           cfg.ElemSize,
+		Caps:               cfg.Capabilities,
+		CUDAAware:          cfg.CUDAAware,
+		NodeAware:          !cfg.TrivialPlacement,
+		RealData:           cfg.RealData,
+		FaceOnly:           cfg.FaceOnly,
+		Neighborhood:       cfg.Neighborhood,
+		OpenBoundary:       cfg.OpenBoundary,
+		AggregateRemote:    cfg.AggregateRemote,
+		NoOverlap:          cfg.NoOverlap,
+		EmpiricalPlacement: cfg.EmpiricalPlacement,
+		FairnessHorizon:    cfg.FairnessHorizon,
+		NodeConfig:         cfg.NodeConfig,
+		Params:             cfg.Params,
+		TraceOps:           cfg.TraceOps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dd := &DistributedDomain{ex: ex, cfg: cfg}
+	for _, s := range ex.Subs {
+		origin, size := ex.Hier.Subdomain(s.NodeIdx, s.GPUIdx)
+		dd.subs = append(dd.subs, &Subdomain{sub: s, Origin: origin, Size: size, dd: dd})
+	}
+	return dd, nil
+}
+
+// Exchange performs the given number of halo exchanges and returns the
+// measured statistics (max-across-ranks time per iteration, as the paper
+// reports).
+func (dd *DistributedDomain) Exchange(iterations int) *Stats {
+	return dd.ex.Run(iterations)
+}
+
+// Subdomains returns the per-GPU subdomains in deterministic order.
+func (dd *DistributedDomain) Subdomains() []*Subdomain { return dd.subs }
+
+// NumSubdomains returns the total subdomain (= GPU) count.
+func (dd *DistributedDomain) NumSubdomains() int { return len(dd.subs) }
+
+// GridDims returns the global subdomain grid.
+func (dd *DistributedDomain) GridDims() Dim3 { return dd.ex.Hier.GlobalDims() }
+
+// PlacementImprovement returns the relative reduction in the QAP objective
+// achieved by the chosen placement versus the trivial linearized baseline on
+// the given node (e.g. 0.19 for a 19% cost reduction).
+func (dd *DistributedDomain) PlacementImprovement(node int) float64 {
+	return dd.ex.PlacementImprovement(node)
+}
+
+// Assignment returns the subdomain→GPU mapping chosen for the given node.
+func (dd *DistributedDomain) Assignment(node int) []int {
+	out := make([]int, len(dd.ex.Assignments[node].SubToGPU))
+	copy(out, dd.ex.Assignments[node].SubToGPU)
+	return out
+}
+
+// MethodBreakdown returns how many of the per-direction transfer plans use
+// each method.
+func (dd *DistributedDomain) MethodBreakdown() map[Method]int {
+	out := make(map[Method]int)
+	for _, p := range dd.ex.Plans {
+		out[p.Method]++
+	}
+	return out
+}
+
+// Trace returns the recorded operation timeline (Config.TraceOps).
+func (dd *DistributedDomain) Trace() []TraceOp {
+	var out []TraceOp
+	for _, r := range dd.ex.Trace {
+		out = append(out, TraceOp{
+			Name: r.Name, Kind: r.Kind.String(), Device: r.Device,
+			Stream: r.Stream, Start: r.Start, End: r.End, Bytes: r.Bytes,
+		})
+	}
+	return out
+}
+
+// TraceOp is one simulated GPU operation in a recorded timeline.
+type TraceOp struct {
+	Name   string
+	Kind   string
+	Device int
+	Stream string
+	Start  float64
+	End    float64
+	Bytes  int64
+}
+
+// Subdomain exposes one GPU's block of the domain.
+type Subdomain struct {
+	// Origin and Size locate the subdomain's interior in global grid
+	// coordinates.
+	Origin, Size Dim3
+	sub          *exchange.Sub
+	dd           *DistributedDomain
+}
+
+// GlobalIndex returns the subdomain's index in the global subdomain grid.
+func (s *Subdomain) GlobalIndex() Dim3 { return s.sub.Global }
+
+// GPU returns the (node, local GPU) pair the subdomain was placed on.
+func (s *Subdomain) GPU() (node, gpu int) { return s.sub.NodeID, s.sub.LocalGPU }
+
+// Rank returns the owning MPI rank.
+func (s *Subdomain) Rank() int { return s.sub.Rank }
+
+// Get reads quantity q at local coordinate (x, y, z); halo cells use
+// negative or >= Size indices. Requires Config.RealData.
+func (s *Subdomain) Get(q, x, y, z int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(s.sub.Dom.At(q, x, y, z)))
+}
+
+// Set writes quantity q at local coordinate (x, y, z).
+func (s *Subdomain) Set(q, x, y, z int, v float32) {
+	binary.LittleEndian.PutUint32(s.sub.Dom.At(q, x, y, z), math.Float32bits(v))
+}
+
+// ComputeFunc updates one subdomain's interior, reading halos as needed.
+type ComputeFunc func(s *Subdomain)
+
+// Step runs `steps` iterations of exchange-then-compute: each step performs
+// a full halo exchange, then runs compute as a simulated kernel on every
+// GPU (overlappable across GPUs, serialized per GPU). It returns the
+// exchange statistics. Compute cost is modeled as a memory-bound sweep of
+// the subdomain at the device's effective pack bandwidth.
+func (dd *DistributedDomain) Step(steps int, compute ComputeFunc) *Stats {
+	if compute == nil {
+		return dd.Exchange(steps)
+	}
+	return dd.ex.RunWithCompute(steps, func(s *exchange.Sub) {
+		for _, ps := range dd.subs {
+			if ps.sub == s {
+				compute(ps)
+				return
+			}
+		}
+		panic("stencil: compute on unknown subdomain")
+	})
+}
+
+// Validate checks the configuration without building the job.
+func (cfg Config) Validate() error {
+	if cfg.ElemSize == 0 {
+		cfg.ElemSize = 4
+	}
+	if cfg.Nodes < 1 || cfg.RanksPerNode < 1 {
+		return fmt.Errorf("stencil: need at least one node and rank")
+	}
+	if cfg.Radius < 1 {
+		return fmt.Errorf("stencil: radius must be >= 1")
+	}
+	if cfg.Quantities < 1 {
+		return fmt.Errorf("stencil: need at least one quantity")
+	}
+	return nil
+}
+
+// VirtualTime returns the current simulated clock of the underlying engine,
+// useful when composing multiple measured phases.
+func (dd *DistributedDomain) VirtualTime() sim.Time { return dd.ex.Eng.Now() }
