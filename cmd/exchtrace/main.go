@@ -10,7 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	stencil "github.com/nodeaware/stencil"
@@ -20,10 +20,21 @@ import (
 )
 
 func main() {
-	width := flag.Int("width", 100, "chart width in characters")
-	ranks := flag.Int("ranks", 1, "ranks on the node")
-	chrome := flag.String("chrome", "", "also write Chrome trace-event JSON to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("exchtrace", flag.ContinueOnError)
+	width := fs.Int("width", 100, "chart width in characters")
+	ranks := fs.Int("ranks", 1, "ranks on the node")
+	edge := fs.Int("edge", 512, "per-GPU cubic subdomain edge (Fig 9: 512)")
+	chrome := fs.String("chrome", "", "also write Chrome trace-event JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Fig 9's setup: one rank controlling two GPUs; the node has one GPU per
 	// socket so both intra- and cross-socket traffic appear.
@@ -31,7 +42,7 @@ func main() {
 	cfg := stencil.Config{
 		Nodes:        1,
 		RanksPerNode: *ranks,
-		Domain:       stencil.Dim3{X: 1024, Y: 512, Z: 512}, // 512^3 per GPU
+		Domain:       stencil.Dim3{X: 2 * *edge, Y: *edge, Z: *edge}, // edge^3 per GPU
 		Radius:       2,
 		Quantities:   4,
 		Capabilities: stencil.CapsAll(),
@@ -40,7 +51,7 @@ func main() {
 	}
 	dd, err := stencil.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stats := dd.Exchange(1)
 
@@ -59,25 +70,26 @@ func main() {
 	tl := trace.New(ops)
 	ts := tl.ComputeStats()
 
-	fmt.Printf("one exchange: 1n/%dr/2g, 512^3 per GPU, 4 SP quantities\n", *ranks)
-	fmt.Printf("exchange time %.3f ms; %d GPU operations on %d streams across %d devices\n",
+	fmt.Fprintf(out, "one exchange: 1n/%dr/2g, %d^3 per GPU, 4 SP quantities\n", *ranks, *edge)
+	fmt.Fprintf(out, "exchange time %.3f ms; %d GPU operations on %d streams across %d devices\n",
 		stats.Min()*1e3, ts.Ops, ts.Streams, ts.Devices)
-	fmt.Printf("GPU busy time %.3f ms over a %.3f ms span: overlap factor %.2fx\n\n",
+	fmt.Fprintf(out, "GPU busy time %.3f ms over a %.3f ms span: overlap factor %.2fx\n\n",
 		ts.BusyTime*1e3, ts.Span*1e3, ts.Overlap)
-	fmt.Println("K=pack/unpack/self kernel  P=peer copy  v=D2H stage  ^=H2D stage")
-	tl.RenderASCII(os.Stdout, *width)
+	fmt.Fprintln(out, "K=pack/unpack/self kernel  P=peer copy  v=D2H stage  ^=H2D stage")
+	tl.RenderASCII(out, *width)
 
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := tl.WriteChromeTrace(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nChrome trace written to %s (open in chrome://tracing)\n", *chrome)
+		fmt.Fprintf(out, "\nChrome trace written to %s (open in chrome://tracing)\n", *chrome)
 	}
+	return nil
 }
 
 func kindOf(s string) cudart.OpKind {

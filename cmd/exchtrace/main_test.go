@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke: the Gantt report renders for a small per-GPU domain.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-edge", "64", "-width", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"one exchange: 1n/1r/2g, 64^3 per GPU",
+		"exchange time", "overlap factor",
+		"K=pack/unpack/self kernel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunChromeTrace: -chrome writes parseable trace-event JSON.
+func TestRunChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf strings.Builder
+	if err := run([]string{"-edge", "64", "-chrome", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+}

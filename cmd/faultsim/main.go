@@ -1,0 +1,222 @@
+// Command faultsim replays a scripted fault scenario against a halo-exchange
+// job twice — once with the adaptive re-specialization monitor off, once on —
+// and reports the before/after method selection, the fault and adaptation
+// timelines, and the virtual-time win from adapting.
+//
+// Example:
+//
+//	faultsim -scenario nvlink-kill -iters 8
+//	faultsim -scenario nic-flap -nodes 2 -cuda-aware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	stencil "github.com/nodeaware/stencil"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 1, "number of nodes")
+	ranks := fs.Int("ranks", 2, "MPI ranks per node")
+	edge := fs.Int("domain", 96, "cubic domain edge")
+	radius := fs.Int("radius", 1, "stencil radius")
+	quantities := fs.Int("quantities", 2, "grid quantities")
+	iters := fs.Int("iters", 8, "exchange iterations")
+	scenario := fs.String("scenario", "nvlink-kill",
+		"fault scenario: nvlink-kill, nvlink-flap, nic-flap, nic-degrade, xbus-degrade, gpu-straggle")
+	failIter := fs.Float64("fail-iter", 2.5, "inject the fault this many (healthy) iterations into the run")
+	outageIters := fs.Float64("outage-iters", 2, "recovery scenarios: outage length in (healthy) iterations")
+	factor := fs.Float64("factor", 0.1, "degradation factor (degrade scenarios) or slowdown (gpu-straggle: 1/factor)")
+	cudaAware := fs.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
+	verify := fs.Bool("verify", false, "move real bytes and verify halos (small domains only)")
+	timeout := fs.Float64("send-timeout", 0, "MPI send timeout in seconds (0 disables retry)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	baseCfg := func(adaptive bool) stencil.Config {
+		return stencil.Config{
+			Nodes:        *nodes,
+			RanksPerNode: *ranks,
+			Domain:       stencil.Dim3{X: *edge, Y: *edge, Z: *edge},
+			Radius:       *radius,
+			Quantities:   *quantities,
+			Capabilities: stencil.CapsAll(),
+			CUDAAware:    *cudaAware,
+			RealData:     *verify,
+			Adaptive:     adaptive,
+			SendTimeout:  *timeout,
+		}
+	}
+
+	// Probe run: healthy iteration time (to time the fault mid-run) and the
+	// topology facts the scenario builders need.
+	probe, err := stencil.New(baseCfg(false))
+	if err != nil {
+		return err
+	}
+	healthy := probe.Exchange(2).Mean()
+	failAt := float64(healthy) * *failIter
+	outage := float64(healthy) * *outageIters
+
+	sc, desc, err := buildScenario(*scenario, probe, failAt, outage, *factor)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "configuration: %dn/%dr domain %d^3 radius %d quantities %d cuda-aware=%v\n",
+		*nodes, *ranks, *edge, *radius, *quantities, *cudaAware)
+	fmt.Fprintf(out, "healthy iteration: %.3f ms (probe)\n", healthy*1e3)
+	fmt.Fprintf(out, "scenario %s: %s\n\n", *scenario, desc)
+
+	fill := func(q, x, y, z int) float32 { return float32(q*1000003 + z*9973 + y*97 + x) }
+	runOne := func(adaptive bool) (*stencil.DistributedDomain, *stencil.Stats, error) {
+		cfg := baseCfg(adaptive)
+		cfg.Fault = sc
+		dd, err := stencil.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if *verify {
+			dd.Fill(fill)
+		}
+		return dd, dd.Exchange(*iters), nil
+	}
+
+	ddN, statsN, err := runOne(false)
+	if err != nil {
+		return err
+	}
+	ddA, statsA, err := runOne(true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "method selection (setup -> after run):\n")
+	printBreakdowns(out, ddN.MethodBreakdown(), ddA.MethodBreakdown())
+
+	fmt.Fprintf(out, "\nfault timeline:\n")
+	for _, r := range ddA.FaultLog() {
+		fmt.Fprintf(out, "  %s\n", r)
+	}
+	fmt.Fprintf(out, "adaptation timeline:\n")
+	if len(ddA.AdaptLog()) == 0 {
+		fmt.Fprintf(out, "  (no adaptation was necessary)\n")
+	}
+	for _, r := range ddA.AdaptLog() {
+		fmt.Fprintf(out, "  %s\n", r)
+	}
+
+	fmt.Fprintf(out, "\niteration times (ms):\n")
+	fmt.Fprintf(out, "  %-5s %12s %12s\n", "iter", "non-adaptive", "adaptive")
+	var totN, totA float64
+	for i := range statsN.Iterations {
+		tn, ta := float64(statsN.Iterations[i]), float64(statsA.Iterations[i])
+		totN += tn
+		totA += ta
+		fmt.Fprintf(out, "  %-5d %12.3f %12.3f\n", i, tn*1e3, ta*1e3)
+	}
+	fmt.Fprintf(out, "  %-5s %12.3f %12.3f\n", "total", totN*1e3, totA*1e3)
+	if totA < totN {
+		fmt.Fprintf(out, "\nadaptive wins: %.3f ms vs %.3f ms (%.2fx better)\n", totA*1e3, totN*1e3, totN/totA)
+	} else {
+		fmt.Fprintf(out, "\nadaptive does not win on this scenario (%.3f ms vs %.3f ms)\n", totA*1e3, totN*1e3)
+	}
+	if statsA.MPIRetries > 0 || statsN.MPIRetries > 0 {
+		fmt.Fprintf(out, "MPI retries: %d non-adaptive, %d adaptive\n", statsN.MPIRetries, statsA.MPIRetries)
+	}
+
+	if *verify {
+		for name, dd := range map[string]*stencil.DistributedDomain{"non-adaptive": ddN, "adaptive": ddA} {
+			if bad, detail := dd.VerifyHalos(fill); bad != 0 {
+				return fmt.Errorf("%s run: %d corrupted halo cells: %s", name, bad, detail)
+			}
+		}
+		fmt.Fprintf(out, "halo verification: byte-identical in both runs\n")
+	}
+	return nil
+}
+
+// buildScenario constructs the named scenario against the probed topology.
+func buildScenario(name string, probe *stencil.DistributedDomain, failAt, outage, factor float64) (*stencil.FaultScenario, string, error) {
+	if factor <= 0 || factor > 1 {
+		return nil, "", fmt.Errorf("-factor %g out of range (0, 1]", factor)
+	}
+	sc := &stencil.FaultScenario{Name: name}
+	switch name {
+	case "nvlink-kill", "nvlink-flap":
+		a, b, ok := triadPair(probe)
+		if !ok {
+			return nil, "", fmt.Errorf("scenario %s: no same-rank triad GPU pair (need >= 3 GPUs per rank)", name)
+		}
+		if name == "nvlink-kill" {
+			sc.KillNVLink(failAt, 0, a, b, 0)
+			return sc, fmt.Sprintf("kill NVLink %d-%d of node 0 at t=%.3f ms, no recovery", a, b, failAt*1e3), nil
+		}
+		sc.KillNVLink(failAt, 0, a, b, outage)
+		return sc, fmt.Sprintf("kill NVLink %d-%d of node 0 at t=%.3f ms, recover after %.3f ms", a, b, failAt*1e3, outage*1e3), nil
+	case "nic-flap":
+		sc.FlapNIC(failAt, 0, outage)
+		return sc, fmt.Sprintf("NIC of node 0 down at t=%.3f ms for %.3f ms", failAt*1e3, outage*1e3), nil
+	case "nic-degrade":
+		sc.DegradeNIC(failAt, 0, factor)
+		return sc, fmt.Sprintf("NIC of node 0 degraded to %.2fx healthy at t=%.3f ms", factor, failAt*1e3), nil
+	case "xbus-degrade":
+		sc.DegradeXBus(failAt, 0, 0, 1, factor)
+		return sc, fmt.Sprintf("X-Bus 0-1 of node 0 degraded to %.2fx healthy at t=%.3f ms", factor, failAt*1e3), nil
+	case "gpu-straggle":
+		slow := 1 / factor
+		sc.StraggleGPU(failAt, 0, 0, slow, 0)
+		return sc, fmt.Sprintf("GPU 0 of node 0 straggles at %.1fx kernel cost from t=%.3f ms", slow, failAt*1e3), nil
+	}
+	return nil, "", fmt.Errorf("unknown scenario %q", name)
+}
+
+// triadPair finds two same-rank GPUs sharing a triad (and so an NVLink).
+func triadPair(dd *stencil.DistributedDomain) (a, b int, ok bool) {
+	subs := dd.Subdomains()
+	for i, s1 := range subs {
+		for _, s2 := range subs[i+1:] {
+			n1, g1 := s1.GPU()
+			n2, g2 := s2.GPU()
+			if n1 == 0 && n2 == 0 && s1.Rank() == s2.Rank() && g1 != g2 && g1/3 == g2/3 {
+				return g1, g2, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func printBreakdowns(out io.Writer, before, after map[stencil.Method]int) {
+	var methods []stencil.Method
+	seen := map[stencil.Method]bool{}
+	for m := range before {
+		seen[m] = true
+	}
+	for m := range after {
+		seen[m] = true
+	}
+	for m := range seen {
+		methods = append(methods, m)
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i] < methods[j] })
+	for _, m := range methods {
+		marker := ""
+		if after[m] != before[m] {
+			marker = fmt.Sprintf("   (%+d adapted)", after[m]-before[m])
+		}
+		fmt.Fprintf(out, "  %-16v %6d -> %-6d%s\n", m, before[m], after[m], marker)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunNVLinkKill: the acceptance scenario end to end through the driver —
+// the adaptive replay demotes the NVLink plans, verifies halos, and beats
+// the non-adaptive replay.
+func TestRunNVLinkKill(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-scenario", "nvlink-kill", "-domain", "24", "-iters", "4", "-verify"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"healthy iteration:", "scenario nvlink-kill:",
+		"method selection", "fault timeline:", "adaptation timeline:",
+		"adapted)", "adaptive wins:",
+		"halo verification: byte-identical in both runs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunStraggle: a scenario with no link damage still replays cleanly (no
+// adaptation is expected; kernels just slow down).
+func TestRunStraggle(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-scenario", "gpu-straggle", "-domain", "24", "-iters", "3", "-factor", "0.5"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fault timeline:") {
+		t.Errorf("output missing fault timeline:\n%s", buf.String())
+	}
+}
+
+// TestRunBadScenario: unknown scenarios are reported as errors.
+func TestRunBadScenario(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scenario", "meteor-strike"}, &buf); err == nil {
+		t.Error("expected error for unknown scenario")
+	}
+}

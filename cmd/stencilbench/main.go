@@ -4,22 +4,53 @@
 // Usage:
 //
 //	stencilbench -experiment fig11|fig12a|fig12b|fig12c|fig13|fig3|all
-//	             [-maxnodes N] [-iters K]
+//	             [-maxnodes N] [-iters K] [-json FILE]
+//
+// With -json FILE the same rows are also written as machine-readable JSON
+// (one object per experiment), so plots and regression checks can consume
+// the results without scraping the text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/nodeaware/stencil/internal/figures"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, all)")
-	maxNodes := flag.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
-	iters := flag.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// benchExperiment is one experiment's rows in the -json output.
+type benchExperiment struct {
+	Name string        `json:"name"`
+	Rows []figures.Row `json:"rows"`
+}
+
+// benchReport is the top-level -json document (BENCH.json).
+type benchReport struct {
+	Tool        string            `json:"tool"`
+	MaxNodes    int               `json:"max_nodes"`
+	Iters       int               `json:"iters"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stencilbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, all)")
+	maxNodes := fs.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
+	iters := fs.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
+	jsonPath := fs.String("json", "", "also write the rows as JSON to this file (e.g. results/BENCH.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	runners := map[string]func() ([]figures.Row, error){
 		"table1": func() ([]figures.Row, error) { return figures.TableI(), nil },
@@ -35,21 +66,37 @@ func main() {
 	which := order
 	if *experiment != "all" {
 		if _, ok := runners[*experiment]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q", *experiment)
 		}
 		which = []string{*experiment}
 	}
+
+	report := benchReport{Tool: "stencilbench", MaxNodes: *maxNodes, Iters: *iters}
 	for _, name := range which {
-		fmt.Printf("== %s ==\n", name)
+		fmt.Fprintf(out, "== %s ==\n", name)
 		rows, err := runners[name]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		for _, r := range rows {
-			fmt.Println(r)
+			fmt.Fprintln(out, r)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
+		report.Experiments = append(report.Experiments, benchExperiment{Name: name, Rows: rows})
 	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "JSON report written to %s\n", *jsonPath)
+	}
+	return nil
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTableI: the cheapest experiment prints its header and rows.
+func TestRunTableI(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== table1 ==") {
+		t.Errorf("output missing table1 header:\n%s", out)
+	}
+}
+
+// TestRunJSON: -json writes a BENCH.json-shaped document whose rows mirror
+// the text output.
+func TestRunJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "fig11", "-iters", "1", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH.json is not valid JSON: %v", err)
+	}
+	if report.Tool != "stencilbench" || len(report.Experiments) != 1 {
+		t.Fatalf("unexpected report shape: %+v", report)
+	}
+	exp := report.Experiments[0]
+	if exp.Name != "fig11" || len(exp.Rows) == 0 {
+		t.Fatalf("fig11 experiment empty: %+v", exp)
+	}
+	for _, r := range exp.Rows {
+		if r.Seconds <= 0 {
+			t.Errorf("row %q: nonpositive seconds %g", r.Config, r.Seconds)
+		}
+		if !strings.Contains(buf.String(), r.Config) {
+			t.Errorf("text output missing row config %q", r.Config)
+		}
+	}
+}
+
+// TestRunUnknownExperiment: bad selectors are errors, not panics.
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "fig99"}, &buf); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

@@ -12,7 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -21,31 +22,41 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 1, "number of nodes")
-	ranks := flag.Int("ranks", 6, "MPI ranks per node")
-	domain := flag.String("domain", "1363", "domain extent: N for a cube or XxYxZ")
-	radius := flag.Int("radius", 2, "stencil radius (halo width)")
-	quantities := flag.Int("quantities", 4, "grid quantities")
-	caps := flag.String("caps", "kernel", "capability ladder rung: remote, colo, peer, kernel")
-	cudaAware := flag.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
-	trivial := flag.Bool("trivial-placement", false, "disable node-aware placement")
-	aggregate := flag.Bool("aggregate", false, "aggregate inter-node messages per rank pair")
-	noOverlap := flag.Bool("no-overlap", false, "serialize transfers (ablation)")
-	empirical := flag.Bool("empirical-placement", false, "measure bandwidths for placement")
-	openBoundary := flag.Bool("open-boundary", false, "non-periodic boundaries")
-	faceOnly := flag.Bool("face-only", false, "exchange only the 6 face neighbors")
-	iters := flag.Int("iters", 10, "exchange iterations (paper: 30)")
-	sockets := flag.Int("sockets", 2, "CPU sockets per node")
-	gpusPerSocket := flag.Int("gpus-per-socket", 3, "GPUs per socket")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stencilsim", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 1, "number of nodes")
+	ranks := fs.Int("ranks", 6, "MPI ranks per node")
+	domain := fs.String("domain", "1363", "domain extent: N for a cube or XxYxZ")
+	radius := fs.Int("radius", 2, "stencil radius (halo width)")
+	quantities := fs.Int("quantities", 4, "grid quantities")
+	caps := fs.String("caps", "kernel", "capability ladder rung: remote, colo, peer, kernel")
+	cudaAware := fs.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
+	trivial := fs.Bool("trivial-placement", false, "disable node-aware placement")
+	aggregate := fs.Bool("aggregate", false, "aggregate inter-node messages per rank pair")
+	noOverlap := fs.Bool("no-overlap", false, "serialize transfers (ablation)")
+	empirical := fs.Bool("empirical-placement", false, "measure bandwidths for placement")
+	openBoundary := fs.Bool("open-boundary", false, "non-periodic boundaries")
+	faceOnly := fs.Bool("face-only", false, "exchange only the 6 face neighbors")
+	iters := fs.Int("iters", 10, "exchange iterations (paper: 30)")
+	sockets := fs.Int("sockets", 2, "CPU sockets per node")
+	gpusPerSocket := fs.Int("gpus-per-socket", 3, "GPUs per socket")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	dim, err := parseDomain(*domain)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	capabilities, err := parseCaps(*caps)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	nodeCfg := machine.NodeConfig{Sockets: *sockets, GPUsPerSocket: *gpusPerSocket}
 
@@ -67,32 +78,33 @@ func main() {
 	}
 	dd, err := stencil.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("configuration: %dn/%dr/%dg domain %v radius %d quantities %d caps %s\n",
+	fmt.Fprintf(out, "configuration: %dn/%dr/%dg domain %v radius %d quantities %d caps %s\n",
 		*nodes, *ranks, nodeCfg.GPUs(), dim, *radius, *quantities, *caps)
-	fmt.Printf("subdomain grid: %v (%d subdomains)\n", dd.GridDims(), dd.NumSubdomains())
+	fmt.Fprintf(out, "subdomain grid: %v (%d subdomains)\n", dd.GridDims(), dd.NumSubdomains())
 	if !*trivial {
-		fmt.Printf("placement (node 0): %v, QAP cost reduction %.1f%% vs trivial\n",
+		fmt.Fprintf(out, "placement (node 0): %v, QAP cost reduction %.1f%% vs trivial\n",
 			dd.Assignment(0), dd.PlacementImprovement(0)*100)
 	}
-	fmt.Println("method breakdown:")
+	fmt.Fprintln(out, "method breakdown:")
 	for m, c := range dd.MethodBreakdown() {
-		fmt.Printf("  %-16v %6d plans\n", m, c)
+		fmt.Fprintf(out, "  %-16v %6d plans\n", m, c)
 	}
 
-	fmt.Println("traffic by link class:")
-	fmt.Print(dd.Traffic())
+	fmt.Fprintln(out, "traffic by link class:")
+	fmt.Fprint(out, dd.Traffic())
 	dev, hostB := dd.StagingBytes()
-	fmt.Printf("staging buffers: %.1f MB device, %.1f MB pinned host\n", float64(dev)/1e6, float64(hostB)/1e6)
+	fmt.Fprintf(out, "staging buffers: %.1f MB device, %.1f MB pinned host\n", float64(dev)/1e6, float64(hostB)/1e6)
 
 	st := dd.Exchange(*iters)
-	fmt.Printf("\nexchange time over %d iterations (max across ranks):\n", *iters)
-	fmt.Printf("  min  %8.3f ms\n", st.Min()*1e3)
-	fmt.Printf("  mean %8.3f ms\n", st.Mean()*1e3)
-	fmt.Printf("  max  %8.3f ms\n", st.Max()*1e3)
-	fmt.Printf("bytes per exchange: %.1f MB\n", float64(st.TotalBytes)/1e6)
+	fmt.Fprintf(out, "\nexchange time over %d iterations (max across ranks):\n", *iters)
+	fmt.Fprintf(out, "  min  %8.3f ms\n", st.Min()*1e3)
+	fmt.Fprintf(out, "  mean %8.3f ms\n", st.Mean()*1e3)
+	fmt.Fprintf(out, "  max  %8.3f ms\n", st.Max()*1e3)
+	fmt.Fprintf(out, "bytes per exchange: %.1f MB\n", float64(st.TotalBytes)/1e6)
+	return nil
 }
 
 func parseDomain(s string) (stencil.Dim3, error) {

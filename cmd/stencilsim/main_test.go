@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke: the driver completes on a small configuration and emits the
+// expected report sections.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-nodes", "1", "-ranks", "2", "-domain", "48x24x24", "-radius", "1",
+		"-quantities", "2", "-iters", "2"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"configuration:", "subdomain grid:", "method breakdown:",
+		"traffic by link class:", "exchange time over 2 iterations", "bytes per exchange:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBadFlags: malformed inputs are reported as errors, not crashes.
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-domain", "banana"},
+		{"-caps", "warp-drive"},
+		{"-unknown-flag"},
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

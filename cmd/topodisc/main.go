@@ -7,6 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"github.com/nodeaware/stencil/internal/cudart"
 	"github.com/nodeaware/stencil/internal/machine"
@@ -15,34 +17,45 @@ import (
 )
 
 func main() {
-	sockets := flag.Int("sockets", 2, "CPU sockets per node")
-	gpusPerSocket := flag.Int("gpus-per-socket", 3, "GPUs per socket")
-	measure := flag.Bool("measure", false, "also run the pairwise bandwidth microbenchmark")
-	probe := flag.Int64("probe-mib", 64, "probe transfer size in MiB for -measure")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topodisc", flag.ContinueOnError)
+	sockets := fs.Int("sockets", 2, "CPU sockets per node")
+	gpusPerSocket := fs.Int("gpus-per-socket", 3, "GPUs per socket")
+	measure := fs.Bool("measure", false, "also run the pairwise bandwidth microbenchmark")
+	probe := fs.Int64("probe-mib", 64, "probe transfer size in MiB for -measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	eng := sim.NewEngine()
 	m := machine.New(eng, 1, machine.NodeConfig{Sockets: *sockets, GPUsPerSocket: *gpusPerSocket}, machine.DefaultParams())
 	node := m.Nodes[0]
 
-	fmt.Printf("simulated node: %d sockets x %d GPUs (Summit-like)\n\n", *sockets, *gpusPerSocket)
+	fmt.Fprintf(out, "simulated node: %d sockets x %d GPUs (Summit-like)\n\n", *sockets, *gpusPerSocket)
 	topo := nvml.Discover(node)
-	fmt.Println("link classes (nvidia-smi topo -m style):")
-	fmt.Println(topo.String())
-	fmt.Println("theoretical per-pair bandwidth (GB/s):")
-	fmt.Println(topo.BandwidthString())
+	fmt.Fprintln(out, "link classes (nvidia-smi topo -m style):")
+	fmt.Fprintln(out, topo.String())
+	fmt.Fprintln(out, "theoretical per-pair bandwidth (GB/s):")
+	fmt.Fprintln(out, topo.BandwidthString())
 
 	p := m.Params
-	fmt.Println("node link inventory:")
-	fmt.Printf("  NVLink (GPU-GPU in triad, GPU-CPU): %5.1f GB/s per direction\n", p.NVLinkBW/machine.GB)
-	fmt.Printf("  X-Bus (socket-socket SMP):          %5.1f GB/s per direction\n", p.XBusBW/machine.GB)
-	fmt.Printf("  NIC (node injection):               %5.1f GB/s per direction\n", p.NICBW/machine.GB)
-	fmt.Printf("  host memory engine (per socket):    %5.1f GB/s\n", p.HostMemBW/machine.GB)
+	fmt.Fprintln(out, "node link inventory:")
+	fmt.Fprintf(out, "  NVLink (GPU-GPU in triad, GPU-CPU): %5.1f GB/s per direction\n", p.NVLinkBW/machine.GB)
+	fmt.Fprintf(out, "  X-Bus (socket-socket SMP):          %5.1f GB/s per direction\n", p.XBusBW/machine.GB)
+	fmt.Fprintf(out, "  NIC (node injection):               %5.1f GB/s per direction\n", p.NICBW/machine.GB)
+	fmt.Fprintf(out, "  host memory engine (per socket):    %5.1f GB/s\n", p.HostMemBW/machine.GB)
 
 	if *measure {
-		fmt.Println("\nmeasured per-pair bandwidth (GB/s), uncontended probes:")
+		fmt.Fprintln(out, "\nmeasured per-pair bandwidth (GB/s), uncontended probes:")
 		rt := cudart.NewRuntime(m, false)
 		mt := nvml.MeasureBandwidth(rt, 0, *probe<<20)
-		fmt.Println(mt.BandwidthString())
+		fmt.Fprintln(out, mt.BandwidthString())
 	}
+	return nil
 }

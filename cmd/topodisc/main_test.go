@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke: topology discovery prints the matrix and the link inventory.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"simulated node: 2 sockets x 3 GPUs",
+		"link classes (nvidia-smi topo -m style):",
+		"theoretical per-pair bandwidth (GB/s):",
+		"node link inventory:",
+		"NVLink", "X-Bus", "NIC",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunMeasure: the -measure microbenchmark path also completes.
+func TestRunMeasure(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-measure", "-probe-mib", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "measured per-pair bandwidth") {
+		t.Errorf("output missing measured matrix:\n%s", buf.String())
+	}
+}

@@ -101,6 +101,26 @@ type Device struct {
 	peers         map[int]bool
 	defaultStream *Stream
 	streams       []*Stream
+	slow          float64 // straggle factor; 0 means healthy (1x)
+}
+
+// SetSlowFactor makes every kernel on the device take factor times as long
+// (launch and execution both), modelling a straggling GPU — thermal
+// throttling, ECC replay storms, a contending tenant. Factor 1 restores
+// nominal speed; factors below 1 are rejected.
+func (d *Device) SetSlowFactor(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("cudart: slow factor %g < 1 on device %d", factor, d.ID))
+	}
+	d.slow = factor
+}
+
+// SlowFactor returns the device's current straggle factor (1 when healthy).
+func (d *Device) SlowFactor() float64 {
+	if d.slow == 0 {
+		return 1
+	}
+	return d.slow
 }
 
 // DefaultStream returns the device's default stream (used internally by the
@@ -332,6 +352,7 @@ func (s *Stream) Kernel(name string, bytes int64, bw float64, commit func(), dep
 	if bw > 0 {
 		dur += float64(bytes) / bw
 	}
+	dur *= s.dev.SlowFactor()
 	return s.enqueue(func(done *sim.Signal) {
 		start := eng.Now()
 		eng.After(dur, func() {

@@ -1,0 +1,62 @@
+package cudart
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// TestSlowFactorKernels: a straggling device's kernels take factor times as
+// long; other devices are unaffected; factor 1 restores nominal speed.
+func TestSlowFactorKernels(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.NewSummit(eng, 1)
+	rt := NewRuntime(m, false)
+	d0, d1 := rt.Devices[0], rt.Devices[1]
+	if d0.SlowFactor() != 1 {
+		t.Fatalf("healthy slow factor: got %g want 1", d0.SlowFactor())
+	}
+	d0.SetSlowFactor(3)
+
+	timeKernel := func(d *Device) sim.Time {
+		s := d.NewStream("k")
+		start := eng.Now()
+		done := s.Kernel("k", 1<<20, m.Params.PackBW, nil)
+		var end sim.Time
+		done.OnFire(func() { end = eng.Now() })
+		eng.Run()
+		return end - start
+	}
+	nominal := m.Params.KernelLaunch + float64(1<<20)/m.Params.PackBW
+	if got := timeKernel(d0); !near(got, 3*nominal) {
+		t.Errorf("straggler kernel: got %g want %g", got, 3*nominal)
+	}
+	if got := timeKernel(d1); !near(got, nominal) {
+		t.Errorf("healthy kernel: got %g want %g", got, nominal)
+	}
+	d0.SetSlowFactor(1)
+	if got := timeKernel(d0); !near(got, nominal) {
+		t.Errorf("restored kernel: got %g want %g", got, nominal)
+	}
+}
+
+func near(a, b sim.Time) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}
+
+func TestSlowFactorRejectsBelowOne(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.NewSummit(eng, 1)
+	rt := NewRuntime(m, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetSlowFactor(0.5) did not panic")
+		}
+	}()
+	rt.Devices[0].SetSlowFactor(0.5)
+}

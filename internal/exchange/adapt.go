@@ -1,0 +1,306 @@
+package exchange
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/flownet"
+	"github.com/nodeaware/stencil/internal/nvml"
+	"github.com/nodeaware/stencil/internal/placement"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// This file is the degradation-aware adaptation layer: a health monitor that
+// runs at a deterministic safe point between iterations (rank 0, after the
+// timing allreduce, before the next barrier — no rank can be mid-exchange)
+// and re-runs the paper's phase-3 method selection against the live link
+// state. A plan whose method crosses a failed or degraded link is demoted
+// down the capability ladder; when the link heals the plan is promoted back.
+// With AdaptPlacement, persistent degradation additionally re-runs phase-2
+// placement against the degraded bandwidth matrix and migrates subdomains.
+
+// AdaptRecord is one adaptation decision.
+type AdaptRecord struct {
+	At     sim.Time
+	PlanID int // -1 for node-level events (re-placement)
+	From   Method
+	To     Method
+	Reason string
+}
+
+func (r AdaptRecord) String() string {
+	if r.PlanID < 0 {
+		return fmt.Sprintf("t=%-9.4gs %s", r.At, r.Reason)
+	}
+	return fmt.Sprintf("t=%-9.4gs plan %d %s -> %s (%s)", r.At, r.PlanID, r.From, r.To, r.Reason)
+}
+
+// planRes holds one method's buffers and streams for a plan.
+type planRes struct {
+	devSend, devRecv   *cudart.Buffer
+	hostSend, hostRecv *cudart.Buffer
+	sendStream         *cudart.Stream
+	recvStream         *cudart.Stream
+}
+
+func (e *Exchanger) adaptThreshold() float64 {
+	if e.Opts.AdaptThreshold == 0 {
+		return 0.5
+	}
+	return e.Opts.AdaptThreshold
+}
+
+func (e *Exchanger) adaptEvery() int {
+	if e.Opts.AdaptCheckEvery < 1 {
+		return 1
+	}
+	return e.Opts.AdaptCheckEvery
+}
+
+func (e *Exchanger) adaptPersist() int {
+	if e.Opts.AdaptPersistTicks < 1 {
+		return 3
+	}
+	return e.Opts.AdaptPersistTicks
+}
+
+// linksHealthy reports whether every link on a path is up and above the
+// degradation threshold.
+func (e *Exchanger) linksHealthy(path []*flownet.Link) bool {
+	thr := e.adaptThreshold()
+	for _, l := range path {
+		if l.Down() || l.Health() < thr {
+			return false
+		}
+	}
+	return true
+}
+
+// stagedLinks is the path a STAGED transfer crosses outside the always-local
+// stream work: D2H on the source, MPI transport, H2D on the destination.
+func (e *Exchanger) stagedLinks(pl *Plan) []*flownet.Link {
+	srcRank, dstRank := e.W.Rank(pl.Src.Rank), e.W.Rank(pl.Dst.Rank)
+	srcNode, dstNode := e.M.Nodes[pl.Src.NodeID], e.M.Nodes[pl.Dst.NodeID]
+	var path []*flownet.Link
+	path = append(path, srcNode.DevToHostPath(pl.Src.LocalGPU, srcRank.Socket)...)
+	path = append(path, e.M.HostToHostPath(pl.Src.NodeID, srcRank.Socket, pl.Dst.NodeID, dstRank.Socket)...)
+	path = append(path, dstNode.HostToDevPath(dstRank.Socket, pl.Dst.LocalGPU)...)
+	return path
+}
+
+// pickMethodHealthy is pickMethod with a health gate on each rung: the
+// first-applicable method whose links are all up and above the threshold
+// wins; STAGED is the unconditional floor (it has no alternative). With
+// every link healthy it selects exactly what pickMethod selected at setup.
+func (e *Exchanger) pickMethodHealthy(pl *Plan) Method {
+	caps := e.Opts.Caps
+	src, dst := pl.Src, pl.Dst
+	if src == dst && caps.Kernel {
+		// Device-internal; no link to degrade and no cheaper fallback.
+		return MethodKernel
+	}
+	sameNode := src.NodeID == dst.NodeID
+	if sameNode {
+		p2p := e.M.Nodes[src.NodeID].DevToDevPath(src.LocalGPU, dst.LocalGPU)
+		if src.Rank == dst.Rank && caps.Peer && e.linksHealthy(p2p) {
+			return MethodPeer
+		}
+		if src.Rank != dst.Rank && caps.Colocated && e.linksHealthy(p2p) {
+			return MethodColocated
+		}
+	}
+	if e.Opts.CUDAAware {
+		ca := e.M.DevToDevRemotePath(src.NodeID, src.LocalGPU, dst.NodeID, dst.LocalGPU)
+		if e.linksHealthy(ca) {
+			return MethodCudaAware
+		}
+	}
+	return MethodStaged
+}
+
+// switchMethod re-specializes a plan, stashing the old method's resources
+// and reusing cached ones when the plan has run under the new method before.
+func (e *Exchanger) switchMethod(pl *Plan, to Method, reason string) {
+	from := pl.Method
+	if pl.resCache == nil {
+		pl.resCache = make(map[Method]*planRes)
+	}
+	pl.resCache[from] = &planRes{
+		devSend: pl.devSend, devRecv: pl.devRecv,
+		hostSend: pl.hostSend, hostRecv: pl.hostRecv,
+		sendStream: pl.sendStream, recvStream: pl.recvStream,
+	}
+	pl.Method = to
+	if res, ok := pl.resCache[to]; ok {
+		pl.devSend, pl.devRecv = res.devSend, res.devRecv
+		pl.hostSend, pl.hostRecv = res.hostSend, res.hostRecv
+		pl.sendStream, pl.recvStream = res.sendStream, res.recvStream
+	} else {
+		pl.devSend, pl.devRecv = nil, nil
+		pl.hostSend, pl.hostRecv = nil, nil
+		pl.sendStream, pl.recvStream = nil, nil
+		e.preparePlan(pl)
+	}
+	// Receive duties differ per method (KERNEL/PEERMEMCPY have none), so
+	// the per-rank duty lists must be rebuilt before the next iteration.
+	e.sendDuties, e.recvDuties = nil, nil
+	e.logAdapt(AdaptRecord{At: e.Eng.Now(), PlanID: pl.ID, From: from, To: to, Reason: reason})
+}
+
+func (e *Exchanger) logAdapt(r AdaptRecord) {
+	e.AdaptLog = append(e.AdaptLog, r)
+	e.Eng.Tracef("adapt: %s", r)
+}
+
+// adaptTick is the monitor body. It runs on rank 0's proc at the inter-
+// iteration safe point and re-specializes every plan against live health.
+func (e *Exchanger) adaptTick(p *sim.Proc) {
+	for _, pl := range e.Plans {
+		if pl.group != nil {
+			continue // aggregated inter-node STAGED: already the floor
+		}
+		want := e.pickMethodHealthy(pl)
+		if want == pl.Method {
+			continue
+		}
+		reason := "degraded path"
+		if want < pl.Method {
+			reason = "path recovered"
+		}
+		e.switchMethod(pl, want, reason)
+	}
+	if e.Opts.AdaptPlacement {
+		e.checkReplacement(p)
+	}
+}
+
+// checkReplacement tracks per-node degradation persistence and re-runs
+// phase-2 placement once per degradation episode.
+func (e *Exchanger) checkReplacement(p *sim.Proc) {
+	thr := e.adaptThreshold()
+	for n := 0; n < e.Opts.Nodes; n++ {
+		degraded := false
+		for _, l := range e.M.Nodes[n].IntraLinks() {
+			if l.Down() || l.Health() < thr {
+				degraded = true
+				break
+			}
+		}
+		if !degraded {
+			e.degradeStreak[n] = 0
+			e.replaceDone[n] = false
+			continue
+		}
+		e.degradeStreak[n]++
+		if e.degradeStreak[n] >= e.adaptPersist() && !e.replaceDone[n] {
+			e.replaceDone[n] = true
+			e.replaceNode(p, n)
+		}
+	}
+}
+
+// replaceNode re-runs phase-2 placement for one node against the live
+// (degraded) bandwidth matrix and migrates subdomains whose GPU changed,
+// charging the migration copies on the flow network.
+func (e *Exchanger) replaceNode(p *sim.Proc, n int) {
+	nodeIdx := e.Hier.NodeIndex(n)
+	topo := nvml.Discover(e.M.Nodes[n]) // reads live, degraded capacities
+	asgn := placement.PlaceBoundary(e.Hier, nodeIdx, topo.Bandwidth,
+		e.Opts.Radius, e.Opts.Quantities, e.Opts.ElemSize, e.Opts.NodeAware, e.Opts.OpenBoundary)
+	gpusPerNode := e.M.Nodes[n].Config.GPUs()
+	moved := 0
+	var migrations []*sim.Signal
+	for s := 0; s < gpusPerNode; s++ {
+		sub := e.Subs[n*gpusPerNode+s]
+		newLocal := asgn.SubToGPU[s]
+		if newLocal == sub.LocalGPU {
+			continue
+		}
+		moved++
+		oldDev := sub.Dev
+		newDev := e.RT.DeviceAt(n, newLocal)
+		// Charge the state migration: the full subdomain (with halos) moves
+		// device-to-device over whatever links remain.
+		r := e.Opts.Radius
+		sz := sub.Dom.Size
+		bytes := int64(sz.X+2*r) * int64(sz.Y+2*r) * int64(sz.Z+2*r) *
+			int64(e.Opts.Quantities) * int64(e.Opts.ElemSize)
+		src := oldDev.Malloc(bytes)
+		dst := newDev.Malloc(bytes)
+		mig := oldDev.NewStream(fmt.Sprintf("migrate.%v", sub.Global))
+		migrations = append(migrations, mig.MemcpyPeerAsync(
+			fmt.Sprintf("migrate.%v", sub.Global), dst, 0, src, 0, bytes))
+		sub.LocalGPU = newLocal
+		sub.Dev = newDev
+		sub.Rank = n*e.Opts.RanksPerNode + newLocal/e.gpusPerRank
+		sub.kernelStream = newDev.NewStream(fmt.Sprintf("sub%d.kernel.r", n*gpusPerNode+s))
+	}
+	if moved == 0 {
+		e.logAdapt(AdaptRecord{At: e.Eng.Now(), PlanID: -1,
+			Reason: fmt.Sprintf("node %d: re-placement unchanged under degradation", n)})
+		return
+	}
+	sim.WaitAll(p, migrations...)
+	e.Assignments[n] = asgn
+	// Endpoints moved: every plan touching this node re-specializes from
+	// scratch (cached resources sit on the wrong devices now).
+	for _, pl := range e.Plans {
+		if pl.Src.NodeID != n && pl.Dst.NodeID != n {
+			continue
+		}
+		from := pl.Method
+		pl.resCache = nil
+		pl.Method = e.pickMethodHealthy(pl)
+		pl.devSend, pl.devRecv = nil, nil
+		pl.hostSend, pl.hostRecv = nil, nil
+		pl.sendStream, pl.recvStream = nil, nil
+		e.preparePlan(pl)
+		if pl.Method != from {
+			e.logAdapt(AdaptRecord{At: e.Eng.Now(), PlanID: pl.ID, From: from, To: pl.Method,
+				Reason: "re-placement"})
+		}
+	}
+	e.sendDuties, e.recvDuties = nil, nil
+	e.logAdapt(AdaptRecord{At: e.Eng.Now(), PlanID: -1,
+		Reason: fmt.Sprintf("node %d: re-placed %d subdomains under persistent degradation", n, moved)})
+}
+
+// PlanInfo is an inspection snapshot of one transfer plan.
+type PlanInfo struct {
+	ID       int
+	Src, Dst [3]int // global grid indices
+	SrcRank  int
+	DstRank  int
+	Method   Method
+	Bytes    int64
+	Class    LinkClass
+}
+
+// PlanInfos snapshots the current plans (method selection reflects any
+// adaptation that has happened so far).
+func (e *Exchanger) PlanInfos() []PlanInfo {
+	infos := make([]PlanInfo, len(e.Plans))
+	for i, p := range e.Plans {
+		infos[i] = PlanInfo{
+			ID:      p.ID,
+			Src:     [3]int{p.Src.Global.X, p.Src.Global.Y, p.Src.Global.Z},
+			Dst:     [3]int{p.Dst.Global.X, p.Dst.Global.Y, p.Dst.Global.Z},
+			SrcRank: p.Src.Rank,
+			DstRank: p.Dst.Rank,
+			Method:  p.Method,
+			Bytes:   p.Bytes,
+			Class:   e.classOf(p),
+		}
+	}
+	return infos
+}
+
+// MethodCounts returns the current per-method plan counts (before a run this
+// is the setup-time selection; after, it reflects adaptation).
+func (e *Exchanger) MethodCounts() map[Method]int {
+	c := make(map[Method]int)
+	for _, p := range e.Plans {
+		c[p.Method]++
+	}
+	return c
+}

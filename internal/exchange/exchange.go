@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/fault"
 	"github.com/nodeaware/stencil/internal/halo"
 	"github.com/nodeaware/stencil/internal/machine"
 	"github.com/nodeaware/stencil/internal/mpi"
@@ -122,6 +123,50 @@ type Options struct {
 	NodeConfig *machine.NodeConfig
 	Params     *machine.Params
 
+	// Fault schedules a deterministic fault/degradation scenario on the
+	// virtual clock (see internal/fault): link failures and degradations,
+	// NIC flaps, GPU stragglers, rank pauses. Event times are measured from
+	// the start of the run. Nil disables injection.
+	Fault *fault.Scenario
+
+	// Adaptive enables the degradation monitor: every AdaptCheckEvery
+	// iterations (at the safe point after the timing allreduce) the health
+	// of every plan's links is scanned and plans whose method crosses a
+	// failed or degraded link are re-specialized down the capability ladder
+	// (PEERMEMCPY falls back to STAGED when its NVLink dies, CUDAAWAREMPI
+	// is demoted while the NIC is down, ...). When the links recover the
+	// plans are promoted back; buffers and streams for every method a plan
+	// has used are cached, so flip-flopping does not leak.
+	Adaptive bool
+
+	// AdaptThreshold is the link-health fraction (live capacity / healthy
+	// capacity) below which a link counts as degraded. 0 defaults to 0.5.
+	AdaptThreshold float64
+
+	// AdaptCheckEvery runs the monitor every N iterations. 0 defaults to 1.
+	AdaptCheckEvery int
+
+	// AdaptPlacement additionally re-runs phase-2 placement against the
+	// live (degraded) bandwidth matrix when a node's degradation persists
+	// for AdaptPersistTicks consecutive monitor ticks, migrating subdomains
+	// whose GPU changes (the migration copy is charged on the flow
+	// network). Incompatible with AggregateRemote.
+	AdaptPlacement bool
+
+	// AdaptPersistTicks is the persistence horizon for AdaptPlacement.
+	// 0 defaults to 3.
+	AdaptPersistTicks int
+
+	// SendTimeout enables MPI-level retries: a wire transfer still in
+	// flight after this much virtual time is aborted and re-sent (up to
+	// SendRetries attempts, then driven to completion regardless). 0
+	// disables.
+	SendTimeout sim.Time
+
+	// SendRetries caps the abort/re-send cycles per message. 0 defaults
+	// to 8 (when SendTimeout is set).
+	SendRetries int
+
 	// FairnessHorizon bounds how far a bandwidth-rebalance propagates in the
 	// flow network (flownet.Network.MaxHops). 0 selects automatically: exact
 	// max-min fairness up to 32 nodes, a 1-hop horizon beyond (within 8% of
@@ -162,6 +207,10 @@ type Plan struct {
 	hostSend, hostRecv *cudart.Buffer
 	sendStream         *cudart.Stream // on Src.Dev
 	recvStream         *cudart.Stream // on Dst.Dev
+
+	// resCache keeps the buffers and streams of every method this plan has
+	// run under, so adaptive demote/promote cycles reuse rather than leak.
+	resCache map[Method]*planRes
 
 	// Aggregated inter-node STAGED messages share one MPI message per rank
 	// pair; aggOffset locates this plan's slice in the group buffers.
@@ -218,6 +267,20 @@ type Exchanger struct {
 	// Trace is populated when Opts.TraceOps is set.
 	Trace []cudart.OpRecord
 
+	// Faults is the installed injector when Opts.Fault is set (its Log is
+	// the applied-fault timeline).
+	Faults *fault.Injector
+
+	// AdaptLog records every adaptation decision (method switches and
+	// re-placements) in virtual-time order.
+	AdaptLog []AdaptRecord
+
+	// degradeStreak counts, per node, consecutive monitor ticks with at
+	// least one unhealthy intra-node link; replaceDone marks nodes already
+	// re-placed for the current degradation episode.
+	degradeStreak []int
+	replaceDone   []bool
+
 	// Setup wall-clock costs (host-side, not simulated): the paper's §VI
 	// notes the placement algorithm should have negligible impact when
 	// properly implemented; these make that measurable.
@@ -238,6 +301,15 @@ func New(opts Options) (*Exchanger, error) {
 	}
 	if opts.Radius < 1 || opts.Quantities < 1 || opts.ElemSize < 1 {
 		return nil, fmt.Errorf("exchange: bad stencil params r=%d q=%d e=%d", opts.Radius, opts.Quantities, opts.ElemSize)
+	}
+	if opts.AdaptPlacement && !opts.Adaptive {
+		return nil, fmt.Errorf("exchange: AdaptPlacement requires Adaptive")
+	}
+	if opts.AdaptPlacement && opts.AggregateRemote {
+		return nil, fmt.Errorf("exchange: AdaptPlacement is incompatible with AggregateRemote (aggregated messages pin rank pairs)")
+	}
+	if opts.AdaptThreshold < 0 || opts.AdaptThreshold > 1 {
+		return nil, fmt.Errorf("exchange: AdaptThreshold %g outside [0, 1]", opts.AdaptThreshold)
 	}
 	nodeCfg := machine.SummitNode()
 	if opts.NodeConfig != nil {
@@ -262,6 +334,8 @@ func New(opts Options) (*Exchanger, error) {
 	}
 	rt := cudart.NewRuntime(m, opts.RealData)
 	w := mpi.NewWorld(m, rt, opts.RanksPerNode, opts.CUDAAware)
+	w.SendTimeout = opts.SendTimeout
+	w.SendRetries = opts.SendRetries
 
 	h, err := part.NewHier(opts.Domain, opts.Nodes, gpusPerNode)
 	if err != nil {
@@ -312,6 +386,18 @@ func New(opts Options) (*Exchanger, error) {
 		if sz.X < opts.Radius || sz.Y < opts.Radius || sz.Z < opts.Radius {
 			return nil, fmt.Errorf("exchange: subdomain %v size %v thinner than radius %d; use fewer partitions or a larger domain",
 				s.Global, sz, opts.Radius)
+		}
+	}
+
+	e.degradeStreak = make([]int, opts.Nodes)
+	e.replaceDone = make([]bool, opts.Nodes)
+	// Faults are installed after setup: EmpiricalPlacement's microbenchmark
+	// advances the virtual clock, and scenario times are meant to be
+	// measured from the start of the run, not of topology discovery.
+	if opts.Fault != nil {
+		e.Faults = fault.NewInjector(m, rt, w)
+		if err := e.Faults.Install(opts.Fault); err != nil {
+			return nil, err
 		}
 	}
 	return e, nil

@@ -287,10 +287,6 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 	}
 	times := make([]sim.Time, iterations)
 	ar := mpi.NewAllreducer(e.W)
-	owned := make([][]*Sub, e.W.Size())
-	for _, s := range e.Subs {
-		owned[s.Rank] = append(owned[s.Rank], s)
-	}
 	for r := 0; r < e.W.Size(); r++ {
 		rank := r
 		e.Eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
@@ -302,12 +298,23 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 				maxDt := ar.MaxFloat(p, dt)
 				if rank == 0 {
 					times[it] = maxDt
+					// Safe point: every rank has passed the allreduce but
+					// none can leave the next barrier until rank 0 enters
+					// it, so no plan is mid-flight while we re-specialize.
+					if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
+						e.adaptTick(p)
+					}
 				}
 				if compute == nil {
 					continue
 				}
+				// Ownership is re-read every iteration: AdaptPlacement may
+				// migrate a subdomain to another rank's GPU mid-run.
 				var done []*sim.Signal
-				for _, s := range owned[rank] {
+				for _, s := range e.Subs {
+					if s.Rank != rank {
+						continue
+					}
 					s := s
 					bytes := int64(s.Dom.Size.Vol()) * int64(e.Opts.ElemSize) * int64(e.Opts.Quantities)
 					e.RT.LaunchCost(p)

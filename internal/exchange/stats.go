@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/nodeaware/stencil/internal/fault"
 	"github.com/nodeaware/stencil/internal/sim"
 )
 
@@ -12,11 +13,21 @@ type Stats struct {
 	// Iterations holds the max-across-ranks exchange time of every
 	// iteration, in seconds.
 	Iterations []sim.Time
-	// MethodCount and MethodBytes break the plans down by transfer method.
+	// MethodCount and MethodBytes break the plans down by transfer method
+	// (the selection at the end of the run, after any adaptation).
 	MethodCount map[Method]int
 	MethodBytes map[Method]int64
 	// TotalBytes is the sum over all plans of the per-exchange message size.
 	TotalBytes int64
+
+	// AdaptEvents is the adaptation timeline (method switches and
+	// re-placements); empty unless Options.Adaptive.
+	AdaptEvents []AdaptRecord
+	// FaultLog is the applied-fault timeline; empty unless Options.Fault.
+	FaultLog []fault.Record
+	// MPIRetries counts timed-out-and-resent wire transfers; nonzero only
+	// with Options.SendTimeout.
+	MPIRetries int
 }
 
 func newStats(e *Exchanger, times []sim.Time) *Stats {
@@ -24,6 +35,11 @@ func newStats(e *Exchanger, times []sim.Time) *Stats {
 		Iterations:  times,
 		MethodCount: make(map[Method]int),
 		MethodBytes: make(map[Method]int64),
+		AdaptEvents: e.AdaptLog,
+		MPIRetries:  e.W.Retries,
+	}
+	if e.Faults != nil {
+		s.FaultLog = e.Faults.Log()
 	}
 	for _, p := range e.Plans {
 		s.MethodCount[p.Method]++

@@ -1,0 +1,411 @@
+// Package fault is a deterministic fault/degradation injection subsystem for
+// the simulated cluster, driven by the virtual clock.
+//
+// A Scenario is a scripted list of events — link bandwidth degradation by a
+// factor, full link failure with optional recovery, NIC flaps, GPU
+// stragglers, rank pauses — that an Injector schedules on the simulation
+// engine. When an event fires it mutates the live machine state: link
+// capacities change and the flow network re-waterfills every in-flight
+// transfer crossing the affected component, devices slow down, progress
+// engines stall. Identical scenarios on identical configurations therefore
+// yield identical virtual-time traces (the engine's FIFO tie-break makes the
+// whole simulation deterministic).
+//
+// The adaptation layer in internal/exchange observes the resulting link
+// health and re-runs the paper's phase-3 specialization (and optionally
+// phase-2 placement) against the degraded capability/bandwidth matrix.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/flownet"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/mpi"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+const (
+	// LinkDegrade multiplies the target links' capacity by Factor (of the
+	// healthy base; 1 restores).
+	LinkDegrade Kind = iota
+	// LinkFail marks the target links down; in-flight flows crawl at a
+	// residual trickle until LinkRecover (or a Duration-scheduled recovery).
+	LinkFail
+	// LinkRecover clears a failure and restores healthy capacity.
+	LinkRecover
+	// NICFlap fails both directions of the node's NIC and automatically
+	// recovers them after Duration.
+	NICFlap
+	// GPUStraggle sets the target GPU's kernel slow factor to Factor
+	// (launch + pack/unpack/compute inflate together; 1 recovers).
+	GPUStraggle
+	// RankPause occupies the target rank's MPI progress engine for Duration.
+	RankPause
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkFail:
+		return "link-fail"
+	case LinkRecover:
+		return "link-recover"
+	case NICFlap:
+		return "nic-flap"
+	case GPUStraggle:
+		return "gpu-straggle"
+	case RankPause:
+		return "rank-pause"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// TargetKind selects which machine facility an event hits.
+type TargetKind int
+
+const (
+	// TargetNVLink is the direct GPU-GPU NVLink between local GPUs A and B
+	// (both directions).
+	TargetNVLink TargetKind = iota
+	// TargetXBus is the socket-to-socket SMP bus between sockets A and B
+	// (both directions).
+	TargetXBus
+	// TargetNIC is the node's injection link pair.
+	TargetNIC
+	// TargetGPULink is GPU A's links to its socket complex (both
+	// directions).
+	TargetGPULink
+	// TargetHostMem is socket A's host memory engine.
+	TargetHostMem
+	// TargetGPU is device A itself (for GPUStraggle).
+	TargetGPU
+	// TargetRank is global MPI rank A (for RankPause; Node is ignored).
+	TargetRank
+)
+
+func (tk TargetKind) String() string {
+	switch tk {
+	case TargetNVLink:
+		return "nvlink"
+	case TargetXBus:
+		return "xbus"
+	case TargetNIC:
+		return "nic"
+	case TargetGPULink:
+		return "gpulink"
+	case TargetHostMem:
+		return "hostmem"
+	case TargetGPU:
+		return "gpu"
+	case TargetRank:
+		return "rank"
+	}
+	return fmt.Sprintf("TargetKind(%d)", int(tk))
+}
+
+// Target names one machine facility.
+type Target struct {
+	Node int
+	Kind TargetKind
+	A, B int // GPU pair, socket pair, GPU, or rank depending on Kind
+}
+
+func (t Target) String() string {
+	switch t.Kind {
+	case TargetNVLink, TargetXBus:
+		return fmt.Sprintf("n%d.%s.%d-%d", t.Node, t.Kind, t.A, t.B)
+	case TargetNIC:
+		return fmt.Sprintf("n%d.nic", t.Node)
+	case TargetRank:
+		return fmt.Sprintf("rank%d", t.A)
+	default:
+		return fmt.Sprintf("n%d.%s.%d", t.Node, t.Kind, t.A)
+	}
+}
+
+// Event is one scheduled fault. At is measured from the moment the scenario
+// is installed (normally virtual time zero, but installation may follow
+// setup work that already advanced the clock, e.g. a placement
+// microbenchmark).
+type Event struct {
+	At       sim.Time
+	Kind     Kind
+	Target   Target
+	Factor   float64  // LinkDegrade: capacity multiplier; GPUStraggle: slowdown
+	Duration sim.Time // NICFlap outage length; RankPause length; LinkFail>0 auto-recovers
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%-9.4gs %-12s %s", e.At, e.Kind, e.Target)
+	if e.Factor != 0 && (e.Kind == LinkDegrade || e.Kind == GPUStraggle) {
+		s += fmt.Sprintf(" factor=%g", e.Factor)
+	}
+	if e.Duration > 0 {
+		s += fmt.Sprintf(" duration=%gs", e.Duration)
+	}
+	return s
+}
+
+// Scenario is a named, scripted fault schedule.
+type Scenario struct {
+	Name   string
+	Events []Event
+}
+
+// Add appends an event and returns the scenario for chaining.
+func (s *Scenario) Add(e Event) *Scenario {
+	s.Events = append(s.Events, e)
+	return s
+}
+
+// KillNVLink schedules a permanent failure of the NVLink between local GPUs
+// a and b of node at time t; if recoverAfter > 0 the link heals that much
+// later.
+func (s *Scenario) KillNVLink(t sim.Time, node, a, b int, recoverAfter sim.Time) *Scenario {
+	return s.Add(Event{At: t, Kind: LinkFail, Duration: recoverAfter,
+		Target: Target{Node: node, Kind: TargetNVLink, A: a, B: b}})
+}
+
+// DegradeNIC degrades both directions of a node's NIC to factor × healthy.
+func (s *Scenario) DegradeNIC(t sim.Time, node int, factor float64) *Scenario {
+	return s.Add(Event{At: t, Kind: LinkDegrade, Factor: factor,
+		Target: Target{Node: node, Kind: TargetNIC}})
+}
+
+// FlapNIC fails a node's NIC at t and recovers it after outage.
+func (s *Scenario) FlapNIC(t sim.Time, node int, outage sim.Time) *Scenario {
+	return s.Add(Event{At: t, Kind: NICFlap, Duration: outage,
+		Target: Target{Node: node, Kind: TargetNIC}})
+}
+
+// DegradeXBus degrades the SMP bus between two sockets of a node.
+func (s *Scenario) DegradeXBus(t sim.Time, node, s1, s2 int, factor float64) *Scenario {
+	return s.Add(Event{At: t, Kind: LinkDegrade, Factor: factor,
+		Target: Target{Node: node, Kind: TargetXBus, A: s1, B: s2}})
+}
+
+// StraggleGPU inflates a GPU's kernel costs by factor starting at t; if
+// recoverAfter > 0 the device returns to nominal that much later.
+func (s *Scenario) StraggleGPU(t sim.Time, node, gpu int, factor float64, recoverAfter sim.Time) *Scenario {
+	return s.Add(Event{At: t, Kind: GPUStraggle, Factor: factor, Duration: recoverAfter,
+		Target: Target{Node: node, Kind: TargetGPU, A: gpu}})
+}
+
+// PauseRank stalls a rank's MPI progress engine for d starting at t.
+func (s *Scenario) PauseRank(t sim.Time, rank int, d sim.Time) *Scenario {
+	return s.Add(Event{At: t, Kind: RankPause, Duration: d,
+		Target: Target{Kind: TargetRank, A: rank}})
+}
+
+// Record is one applied fault action, for timeline reports.
+type Record struct {
+	At   sim.Time
+	Desc string
+}
+
+func (r Record) String() string { return fmt.Sprintf("t=%-9.4gs %s", r.At, r.Desc) }
+
+// Injector schedules a scenario's events on the engine and applies them to
+// the live machine. RT may be nil if the scenario has no GPU targets; W may
+// be nil if it has no rank targets.
+type Injector struct {
+	M   *machine.Machine
+	RT  *cudart.Runtime
+	W   *mpi.World
+	log []Record
+}
+
+// NewInjector binds an injector to the simulated hardware.
+func NewInjector(m *machine.Machine, rt *cudart.Runtime, w *mpi.World) *Injector {
+	return &Injector{M: m, RT: rt, W: w}
+}
+
+// Log returns the applied-fault timeline in application order.
+func (inj *Injector) Log() []Record { return inj.log }
+
+// Install validates every event against the machine shape and schedules the
+// scenario on the engine. It must be called before (or during) Engine.Run;
+// events in the past panic inside the engine as usual.
+func (inj *Injector) Install(sc *Scenario) error {
+	for i, ev := range sc.Events {
+		if err := inj.validate(ev); err != nil {
+			return fmt.Errorf("fault: scenario %q event %d: %w", sc.Name, i, err)
+		}
+	}
+	for _, ev := range sc.Events {
+		ev := ev
+		inj.M.Eng.After(ev.At, func() { inj.apply(ev) })
+	}
+	return nil
+}
+
+func (inj *Injector) validate(ev Event) error {
+	if ev.Kind < 0 || ev.Kind >= numKinds {
+		return fmt.Errorf("unknown kind %d", int(ev.Kind))
+	}
+	if ev.At < 0 {
+		return fmt.Errorf("negative event time %g", ev.At)
+	}
+	tg := ev.Target
+	if tg.Kind != TargetRank {
+		if tg.Node < 0 || tg.Node >= len(inj.M.Nodes) {
+			return fmt.Errorf("node %d out of range", tg.Node)
+		}
+	}
+	switch tg.Kind {
+	case TargetNVLink:
+		node := inj.M.Nodes[tg.Node]
+		if ab, ba := node.NVLinkPair(tg.A, tg.B); ab == nil || ba == nil {
+			return fmt.Errorf("GPUs %d and %d of node %d share no direct NVLink", tg.A, tg.B, tg.Node)
+		}
+	case TargetXBus:
+		node := inj.M.Nodes[tg.Node]
+		if ab, ba := node.XBusPair(tg.A, tg.B); ab == nil || ba == nil {
+			return fmt.Errorf("sockets %d and %d of node %d share no X-Bus", tg.A, tg.B, tg.Node)
+		}
+	case TargetGPULink, TargetGPU:
+		if tg.A < 0 || tg.A >= inj.M.Nodes[tg.Node].Config.GPUs() {
+			return fmt.Errorf("GPU %d out of range on node %d", tg.A, tg.Node)
+		}
+		if tg.Kind == TargetGPU && inj.RT == nil {
+			return fmt.Errorf("GPU target needs a CUDA runtime")
+		}
+	case TargetHostMem:
+		if tg.A < 0 || tg.A >= inj.M.Nodes[tg.Node].Config.Sockets {
+			return fmt.Errorf("socket %d out of range on node %d", tg.A, tg.Node)
+		}
+	case TargetRank:
+		if inj.W == nil {
+			return fmt.Errorf("rank target needs an MPI world")
+		}
+		if tg.A < 0 || tg.A >= inj.W.Size() {
+			return fmt.Errorf("rank %d out of range", tg.A)
+		}
+	}
+	switch ev.Kind {
+	case LinkDegrade:
+		if ev.Factor <= 0 {
+			return fmt.Errorf("degrade factor %g <= 0", ev.Factor)
+		}
+	case GPUStraggle:
+		if tg.Kind != TargetGPU {
+			return fmt.Errorf("straggle needs a GPU target, got %s", tg.Kind)
+		}
+		if ev.Factor < 1 {
+			return fmt.Errorf("straggle factor %g < 1", ev.Factor)
+		}
+	case RankPause:
+		if tg.Kind != TargetRank {
+			return fmt.Errorf("pause needs a rank target, got %s", tg.Kind)
+		}
+		if ev.Duration <= 0 {
+			return fmt.Errorf("pause duration %g <= 0", ev.Duration)
+		}
+	case NICFlap:
+		if tg.Kind != TargetNIC {
+			return fmt.Errorf("flap needs a NIC target, got %s", tg.Kind)
+		}
+		if ev.Duration <= 0 {
+			return fmt.Errorf("flap outage %g <= 0", ev.Duration)
+		}
+	}
+	if ev.Kind == LinkDegrade || ev.Kind == LinkFail || ev.Kind == LinkRecover || ev.Kind == NICFlap {
+		if tg.Kind == TargetGPU || tg.Kind == TargetRank {
+			return fmt.Errorf("%s cannot target %s", ev.Kind, tg.Kind)
+		}
+	}
+	return nil
+}
+
+// links resolves a link-class target to the directed links it covers.
+func (inj *Injector) links(tg Target) []*flownet.Link {
+	node := inj.M.Nodes[tg.Node]
+	switch tg.Kind {
+	case TargetNVLink:
+		ab, ba := node.NVLinkPair(tg.A, tg.B)
+		return []*flownet.Link{ab, ba}
+	case TargetXBus:
+		ab, ba := node.XBusPair(tg.A, tg.B)
+		return []*flownet.Link{ab, ba}
+	case TargetNIC:
+		out, in := node.NIC()
+		return []*flownet.Link{out, in}
+	case TargetGPULink:
+		up, down := node.GPUSocketLinks(tg.A)
+		return []*flownet.Link{up, down}
+	case TargetHostMem:
+		return []*flownet.Link{node.HostMem(tg.A)}
+	}
+	panic("fault: no links for target " + tg.String())
+}
+
+func (inj *Injector) record(format string, args ...any) {
+	rec := Record{At: inj.M.Eng.Now(), Desc: fmt.Sprintf(format, args...)}
+	inj.log = append(inj.log, rec)
+	inj.M.Eng.Tracef("fault: %s", rec.Desc)
+}
+
+func (inj *Injector) apply(ev Event) {
+	net := inj.M.Net
+	switch ev.Kind {
+	case LinkDegrade:
+		for _, l := range inj.links(ev.Target) {
+			net.DegradeLink(l, ev.Factor)
+		}
+		inj.record("degrade %s to %g x healthy", ev.Target, ev.Factor)
+
+	case LinkFail:
+		for _, l := range inj.links(ev.Target) {
+			net.FailLink(l)
+		}
+		inj.record("fail %s", ev.Target)
+		if ev.Duration > 0 {
+			inj.M.Eng.After(ev.Duration, func() {
+				for _, l := range inj.links(ev.Target) {
+					net.RestoreLink(l)
+				}
+				inj.record("recover %s", ev.Target)
+			})
+		}
+
+	case LinkRecover:
+		for _, l := range inj.links(ev.Target) {
+			net.RestoreLink(l)
+		}
+		inj.record("recover %s", ev.Target)
+
+	case NICFlap:
+		for _, l := range inj.links(ev.Target) {
+			net.FailLink(l)
+		}
+		inj.record("flap %s down", ev.Target)
+		inj.M.Eng.After(ev.Duration, func() {
+			for _, l := range inj.links(ev.Target) {
+				net.RestoreLink(l)
+			}
+			inj.record("flap %s recovered", ev.Target)
+		})
+
+	case GPUStraggle:
+		dev := inj.RT.DeviceAt(ev.Target.Node, ev.Target.A)
+		dev.SetSlowFactor(ev.Factor)
+		inj.record("straggle %s at %gx", ev.Target, ev.Factor)
+		if ev.Duration > 0 {
+			inj.M.Eng.After(ev.Duration, func() {
+				dev.SetSlowFactor(1)
+				inj.record("straggle %s recovered", ev.Target)
+			})
+		}
+
+	case RankPause:
+		inj.W.Rank(ev.Target.A).PauseProgress(ev.Duration)
+		inj.record("pause %s for %gs", ev.Target, ev.Duration)
+	}
+}

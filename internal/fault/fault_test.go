@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/mpi"
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+func rig(nodes, ranksPerNode int) (*sim.Engine, *machine.Machine, *cudart.Runtime, *mpi.World) {
+	eng := sim.NewEngine()
+	m := machine.NewSummit(eng, nodes)
+	rt := cudart.NewRuntime(m, false)
+	w := mpi.NewWorld(m, rt, ranksPerNode, false)
+	return eng, m, rt, w
+}
+
+// TestInjectorAppliesAtVirtualTimes: each event kind mutates the machine at
+// exactly the scheduled virtual time and the log records it in order.
+func TestInjectorAppliesAtVirtualTimes(t *testing.T) {
+	eng, m, rt, w := rig(1, 2)
+	inj := NewInjector(m, rt, w)
+	sc := (&Scenario{Name: "mixed"}).
+		DegradeNIC(1, 0, 0.25).
+		KillNVLink(2, 0, 0, 1, 0).
+		StraggleGPU(3, 0, 4, 2.5, 0)
+	if err := inj.Install(sc); err != nil {
+		t.Fatal(err)
+	}
+
+	node := m.Nodes[0]
+	nicOut, nicIn := node.NIC()
+	ab, ba := node.NVLinkPair(0, 1)
+	checks := []struct {
+		at sim.Time
+		fn func()
+	}{
+		{0.5, func() {
+			if nicOut.Health() != 1 || ab.Health() != 1 {
+				t.Error("faults applied before schedule")
+			}
+		}},
+		{1.5, func() {
+			if nicOut.Health() != 0.25 || nicIn.Health() != 0.25 {
+				t.Errorf("NIC health at t=1.5: got %g/%g want 0.25", nicOut.Health(), nicIn.Health())
+			}
+		}},
+		{2.5, func() {
+			if !ab.Down() || !ba.Down() {
+				t.Error("NVLink 0-1 not down at t=2.5")
+			}
+		}},
+		{3.5, func() {
+			if got := rt.DeviceAt(0, 4).SlowFactor(); got != 2.5 {
+				t.Errorf("GPU4 slow factor: got %g want 2.5", got)
+			}
+		}},
+	}
+	for _, c := range checks {
+		eng.At(c.at, c.fn)
+	}
+	eng.Run()
+
+	if len(inj.Log()) != 3 {
+		t.Fatalf("log entries: got %d want 3: %v", len(inj.Log()), inj.Log())
+	}
+	for i, want := range []sim.Time{1, 2, 3} {
+		if inj.Log()[i].At != want {
+			t.Errorf("log[%d].At: got %g want %g", i, inj.Log()[i].At, want)
+		}
+	}
+}
+
+// TestNICFlapAutoRecovers: NICFlap fails both directions and restores them
+// after the outage without an explicit recover event.
+func TestNICFlapAutoRecovers(t *testing.T) {
+	eng, m, rt, w := rig(2, 1)
+	inj := NewInjector(m, rt, w)
+	if err := inj.Install((&Scenario{Name: "flap"}).FlapNIC(1, 1, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	out, in := m.Nodes[1].NIC()
+	eng.At(1.2, func() {
+		if !out.Down() || !in.Down() {
+			t.Error("NIC not down mid-flap")
+		}
+	})
+	eng.At(1.6, func() {
+		if out.Down() || in.Down() || out.Health() != 1 {
+			t.Error("NIC not recovered after outage")
+		}
+	})
+	eng.Run()
+	if len(inj.Log()) != 2 || inj.Log()[1].At != 1.5 {
+		t.Errorf("flap log: %v", inj.Log())
+	}
+}
+
+// TestLinkFailWithRecovery: a LinkFail with Duration heals itself.
+func TestLinkFailWithRecovery(t *testing.T) {
+	eng, m, _, _ := rig(1, 1)
+	inj := NewInjector(m, nil, nil)
+	if err := inj.Install((&Scenario{Name: "heal"}).KillNVLink(1, 0, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := m.Nodes[0].NVLinkPair(1, 2)
+	eng.At(2, func() {
+		if !ab.Down() {
+			t.Error("NVLink up during failure window")
+		}
+	})
+	eng.At(4.5, func() {
+		if ab.Down() || ab.Health() != 1 {
+			t.Error("NVLink not healed at t=4.5")
+		}
+	})
+	eng.Run()
+}
+
+// TestStraggleRecovery and rank pause plumbing.
+func TestStraggleAndPause(t *testing.T) {
+	eng, m, rt, w := rig(1, 2)
+	inj := NewInjector(m, rt, w)
+	sc := (&Scenario{Name: "sp"}).
+		StraggleGPU(1, 0, 0, 3, 2).
+		PauseRank(1, 1, 0.25)
+	if err := inj.Install(sc); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(2, func() {
+		if got := rt.DeviceAt(0, 0).SlowFactor(); got != 3 {
+			t.Errorf("mid-straggle factor: got %g want 3", got)
+		}
+	})
+	eng.At(3.5, func() {
+		if got := rt.DeviceAt(0, 0).SlowFactor(); got != 1 {
+			t.Errorf("post-recovery factor: got %g want 1", got)
+		}
+	})
+	eng.Run()
+	if len(inj.Log()) != 3 {
+		t.Errorf("log: %v", inj.Log())
+	}
+}
+
+// TestInstallValidation rejects malformed events before scheduling anything.
+func TestInstallValidation(t *testing.T) {
+	_, m, rt, w := rig(1, 2)
+	cases := []struct {
+		name string
+		sc   *Scenario
+	}{
+		{"bad node", (&Scenario{}).FlapNIC(1, 7, 0.1)},
+		{"no such nvlink (cross-socket)", (&Scenario{}).KillNVLink(1, 0, 0, 3, 0)},
+		{"gpu out of range", (&Scenario{}).StraggleGPU(1, 0, 9, 2, 0)},
+		{"straggle below 1", (&Scenario{}).StraggleGPU(1, 0, 0, 0.5, 0)},
+		{"degrade factor 0", (&Scenario{}).DegradeNIC(1, 0, 0)},
+		{"rank out of range", (&Scenario{}).PauseRank(1, 5, 1)},
+		{"pause without duration", (&Scenario{}).PauseRank(1, 0, 0)},
+		{"flap without outage", (&Scenario{}).FlapNIC(1, 0, 0)},
+		{"degrade a gpu", (&Scenario{}).Add(Event{At: 1, Kind: LinkDegrade, Factor: 0.5,
+			Target: Target{Kind: TargetGPU, A: 0}})},
+	}
+	for _, c := range cases {
+		inj := NewInjector(m, rt, w)
+		if err := inj.Install(c.sc); err == nil {
+			t.Errorf("%s: Install accepted a bad scenario", c.name)
+		}
+	}
+}
+
+// TestScenarioDeterminism: installing the same scenario on two fresh
+// simulations with identical traffic yields byte-identical fault logs and
+// identical transfer completion times.
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() (string, sim.Time) {
+		eng, m, rt, w := rig(2, 2)
+		w.SendTimeout = 5e-3
+		inj := NewInjector(m, rt, w)
+		sc := (&Scenario{Name: "det"}).
+			FlapNIC(2e-3, 0, 10e-3).
+			KillNVLink(1e-3, 0, 0, 1, 20e-3).
+			StraggleGPU(0, 1, 2, 2, 0)
+		if err := inj.Install(sc); err != nil {
+			t.Fatal(err)
+		}
+		const bytes = 4 << 20
+		src := rt.MallocHost(0, 0, bytes)
+		dst := rt.MallocHost(1, 0, bytes)
+		var arrived sim.Time
+		eng.Spawn("send", func(p *sim.Proc) { w.Rank(0).Isend(2, 1, src, 0, bytes).Wait(p) })
+		eng.Spawn("recv", func(p *sim.Proc) {
+			w.Rank(2).Irecv(0, 1, dst, 0, bytes).Wait(p)
+			arrived = p.Now()
+		})
+		eng.Run()
+		log := ""
+		for _, r := range inj.Log() {
+			log += fmt.Sprintf("%.15g %s\n", r.At, r.Desc)
+		}
+		return log, arrived
+	}
+	log1, t1 := run()
+	log2, t2 := run()
+	if log1 != log2 {
+		t.Errorf("fault logs differ:\n%s\nvs\n%s", log1, log2)
+	}
+	if t1 != t2 {
+		t.Errorf("completion times differ: %.15g vs %.15g", t1, t2)
+	}
+	if log1 == "" {
+		t.Error("empty fault log")
+	}
+}

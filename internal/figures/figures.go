@@ -13,15 +13,16 @@ import (
 	"github.com/nodeaware/stencil/internal/part"
 )
 
-// Row is one measured configuration.
+// Row is one measured configuration. The json tags define the schema of
+// cmd/stencilbench's -json output (results/BENCH.json).
 type Row struct {
-	Config  string // paper-style label, e.g. "2n/6r/6g/1717"
-	Caps    string // "+remote".."+kernel"
-	Nodes   int
-	Ranks   int // per node
-	Domain  int // cube edge, or 0 for non-cube
-	Seconds float64
-	Extra   string
+	Config  string  `json:"config"` // paper-style label, e.g. "2n/6r/6g/1717"
+	Caps    string  `json:"caps"`   // "+remote".."+kernel"
+	Nodes   int     `json:"nodes"`
+	Ranks   int     `json:"ranks"`  // per node
+	Domain  int     `json:"domain"` // cube edge, or 0 for non-cube
+	Seconds float64 `json:"seconds"`
+	Extra   string  `json:"extra,omitempty"`
 }
 
 func (r Row) String() string {

@@ -1,0 +1,176 @@
+package flownet
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// TestMidFlowCapacityLoss: a flow whose bottleneck link loses capacity
+// mid-transfer must complete at the exactly re-waterfilled virtual time.
+// 100 bytes at 10 B/s; at t=4 (40 bytes moved) the link drops to 5 B/s, so
+// the remaining 60 bytes take 12 s: completion at t=16.
+func TestMidFlowCapacityLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	l := NewLink("l", 10)
+	f := net.StartFlow("f", []*Link{l}, 100)
+	eng.At(4, func() {
+		net.SetCapacity(l, 5)
+		// rebalance settles the flow: 40 bytes moved in the first 4 s.
+		if !almostEq(f.Remaining(), 60) {
+			t.Errorf("remaining at t=4: got %g want 60", f.Remaining())
+		}
+		if f.Rate() != 5 {
+			t.Errorf("rate after degrade: got %g want 5", f.Rate())
+		}
+	})
+	end := eng.Run()
+	if !f.Done().Fired() {
+		t.Fatal("flow did not complete")
+	}
+	if !almostEq(f.Done().FiredAt(), 16) {
+		t.Errorf("completion: got %g want 16", f.Done().FiredAt())
+	}
+	if !almostEq(end, 16) {
+		t.Errorf("final time: got %g want 16", end)
+	}
+}
+
+// TestMidFlowCapacityGain: recovery mid-flow pulls the completion earlier.
+// 100 bytes at 5 B/s; at t=10 (50 moved) capacity doubles to 10 B/s:
+// completion at t=15.
+func TestMidFlowCapacityGain(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	l := NewLink("l", 5)
+	f := net.StartFlow("f", []*Link{l}, 100)
+	eng.At(10, func() { net.SetCapacity(l, 10) })
+	eng.Run()
+	if !almostEq(f.Done().FiredAt(), 15) {
+		t.Errorf("completion: got %g want 15", f.Done().FiredAt())
+	}
+}
+
+// TestMidFlowCapacityLossSharedLink: two flows share the degraded link; both
+// are re-waterfilled. Each starts at 5 B/s (fair share of 10). At t=8 (40
+// bytes each moved) the link halves to 5: each proceeds at 2.5 B/s, so the
+// remaining 60 bytes complete at t=32.
+func TestMidFlowCapacityLossSharedLink(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	l := NewLink("l", 10)
+	f1 := net.StartFlow("f1", []*Link{l}, 100)
+	f2 := net.StartFlow("f2", []*Link{l}, 100)
+	eng.At(8, func() { net.SetCapacity(l, 5) })
+	eng.Run()
+	for _, f := range []*Flow{f1, f2} {
+		if !almostEq(f.Done().FiredAt(), 32) {
+			t.Errorf("completion: got %g want 32", f.Done().FiredAt())
+		}
+	}
+}
+
+// TestMidFlowCapacityLossUnderFairnessHorizon: the same mid-flow retime must
+// be exact with a bounded rebalance horizon (MaxHops=1). Each flow also
+// crosses a private wide link, so the changed link's component reaches the
+// horizon without altering the allocation.
+func TestMidFlowCapacityLossUnderFairnessHorizon(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	net.MaxHops = 1
+	shared := NewLink("shared", 10)
+	p1, p2 := NewLink("p1", 1000), NewLink("p2", 1000)
+	f1 := net.StartFlow("f1", []*Link{p1, shared}, 100)
+	f2 := net.StartFlow("f2", []*Link{p2, shared}, 100)
+	eng.At(8, func() { net.SetCapacity(shared, 5) })
+	eng.Run()
+	for _, f := range []*Flow{f1, f2} {
+		if !almostEq(f.Done().FiredAt(), 32) {
+			t.Errorf("completion under MaxHops=1: got %g want 32", f.Done().FiredAt())
+		}
+	}
+}
+
+// TestFailRestoreLink: a failed link crawls at the residual trickle, a
+// restore re-waterfills to the healthy rate, and the Down flag tracks state.
+// 100 bytes at 10 B/s; fail at t=4 (residual floor 1 B/s, 60 left); restore
+// at t=14 (10 bytes crawled, 50 left at 10 B/s): completion at t=19.
+func TestFailRestoreLink(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	l := NewLink("l", 10)
+	f := net.StartFlow("f", []*Link{l}, 100)
+	eng.At(4, func() {
+		net.FailLink(l)
+		if !l.Down() {
+			t.Error("link not marked down after FailLink")
+		}
+		if f.Rate() != 1 {
+			t.Errorf("failed-link rate: got %g want 1", f.Rate())
+		}
+	})
+	eng.At(14, func() {
+		net.RestoreLink(l)
+		if l.Down() {
+			t.Error("link still down after RestoreLink")
+		}
+		if l.Capacity != l.BaseCapacity() {
+			t.Errorf("capacity after restore: got %g want %g", l.Capacity, l.BaseCapacity())
+		}
+	})
+	eng.Run()
+	if !almostEq(f.Done().FiredAt(), 19) {
+		t.Errorf("completion: got %g want 19", f.Done().FiredAt())
+	}
+}
+
+// TestAbortFlow: aborting redistributes bandwidth to the survivor and the
+// aborted flow's Done never fires. Two flows share 10 B/s; at t=10 (50 bytes
+// each) one aborts; the other finishes its remaining 50 at 10 B/s at t=15.
+func TestAbortFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	l := NewLink("l", 10)
+	f1 := net.StartFlow("f1", []*Link{l}, 100)
+	f2 := net.StartFlow("f2", []*Link{l}, 100)
+	eng.At(10, func() {
+		net.Abort(f1)
+		if net.ActiveFlows() != 1 {
+			t.Errorf("active flows after abort: got %d want 1", net.ActiveFlows())
+		}
+		if f2.Rate() != 10 {
+			t.Errorf("survivor rate after abort: got %g want 10", f2.Rate())
+		}
+	})
+	eng.Run()
+	if f1.Done().Fired() {
+		t.Error("aborted flow's Done fired")
+	}
+	if !almostEq(f1.Remaining(), 50) {
+		t.Errorf("aborted flow remaining: got %g want 50", f1.Remaining())
+	}
+	if !almostEq(f2.Done().FiredAt(), 15) {
+		t.Errorf("survivor completion: got %g want 15", f2.Done().FiredAt())
+	}
+	// Abort after completion is a no-op.
+	net.Abort(f2)
+}
+
+// TestHealth tracks the capacity ratio through degrade and restore.
+func TestHealth(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	l := NewLink("l", 100)
+	if l.Health() != 1 {
+		t.Errorf("healthy Health: got %g want 1", l.Health())
+	}
+	net.DegradeLink(l, 0.25)
+	if l.Health() != 0.25 {
+		t.Errorf("degraded Health: got %g want 0.25", l.Health())
+	}
+	net.DegradeLink(l, 1)
+	if l.Health() != 1 {
+		t.Errorf("restored Health: got %g want 1", l.Health())
+	}
+}

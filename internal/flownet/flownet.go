@@ -29,6 +29,8 @@ import (
 type Link struct {
 	Name     string
 	Capacity float64 // bytes per second
+	base     float64 // healthy capacity, set at creation
+	down     bool    // marked failed by FailLink
 	flows    []*Flow // active flows crossing the link
 
 	// Scratch fields for rebalance; valid only when visit == Network.epoch.
@@ -42,11 +44,24 @@ func NewLink(name string, capacity float64) *Link {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("flownet: link %s capacity %g <= 0", name, capacity))
 	}
-	return &Link{Name: name, Capacity: capacity}
+	return &Link{Name: name, Capacity: capacity, base: capacity}
 }
 
 // NumFlows returns the number of flows currently traversing the link.
 func (l *Link) NumFlows() int { return len(l.flows) }
+
+// BaseCapacity returns the healthy (creation-time) capacity, the reference
+// point for degradation factors and recovery.
+func (l *Link) BaseCapacity() float64 { return l.base }
+
+// Down reports whether the link is marked failed (FailLink without a
+// matching RestoreLink). A down link still carries a residual trickle so
+// in-flight flows remain schedulable; higher layers consult this flag to
+// route around it.
+func (l *Link) Down() bool { return l.down }
+
+// Health returns Capacity/BaseCapacity: 1 when healthy, ~0 when failed.
+func (l *Link) Health() float64 { return l.Capacity / l.base }
 
 func (l *Link) removeFlow(f *Flow) {
 	for i, g := range l.flows {
@@ -162,6 +177,73 @@ func (n *Network) finish(f *Flow) {
 	}
 	f.completion = nil
 	f.done.Fire()
+	n.rebalance(f.path)
+}
+
+// FailFraction is the residual capacity fraction of a failed link: the link
+// is effectively dead (error-retry trickle) but in-flight flows keep a
+// nonzero rate so completion events stay schedulable and a later recovery
+// re-waterfills them to sane times.
+const FailFraction = 1e-6
+
+// SetCapacity changes a link's capacity mid-simulation and re-waterfills the
+// affected component: in-flight flows crossing the link (and flows sharing
+// links with them, transitively up to MaxHops) have their rates and
+// completion times recomputed exactly as if the set of flows had changed.
+func (n *Network) SetCapacity(l *Link, capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("flownet: link %s capacity %g <= 0", l.Name, capacity))
+	}
+	if capacity == l.Capacity {
+		return
+	}
+	l.Capacity = capacity
+	n.rebalance([]*Link{l})
+}
+
+// DegradeLink sets a link to factor × its healthy capacity (factor in (0,1]
+// degrades, factor 1 restores, factor > 1 models an upgrade).
+func (n *Network) DegradeLink(l *Link, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("flownet: degrade factor %g <= 0 on %s", factor, l.Name))
+	}
+	n.SetCapacity(l, l.base*factor)
+}
+
+// FailLink marks a link down and collapses its capacity to the residual
+// trickle. Idempotent.
+func (n *Network) FailLink(l *Link) {
+	l.down = true
+	cap := l.base * FailFraction
+	if cap < 1 {
+		cap = 1
+	}
+	n.SetCapacity(l, cap)
+}
+
+// RestoreLink clears the failed mark and restores the healthy capacity,
+// re-waterfilling any flows that were crawling across the outage. Idempotent.
+func (n *Network) RestoreLink(l *Link) {
+	l.down = false
+	n.SetCapacity(l, l.base)
+}
+
+// Abort cancels an in-flight flow: bytes already moved stay moved, the Done
+// signal never fires, and the freed bandwidth is redistributed to the
+// remaining flows. Aborting a completed (or zero-byte) flow is a no-op.
+// Callers that retry a transfer start a fresh flow.
+func (n *Network) Abort(f *Flow) {
+	if f.completion == nil {
+		return
+	}
+	f.settle(n.eng.Now())
+	f.completion.Cancel()
+	f.completion = nil
+	f.rate = 0
+	n.active--
+	for _, l := range f.path {
+		l.removeFlow(f)
+	}
 	n.rebalance(f.path)
 }
 

@@ -217,9 +217,60 @@ func (m *Machine) buildNode(id int, cfg NodeConfig) *Node {
 // FabricLatency is the per-message latency across the inter-node fabric.
 func (m *Machine) FabricLatency() sim.Time { return m.fabricLatency }
 
+// NVLinkPair returns the two directed NVLink links between same-triad GPUs a
+// and b, or (nil, nil) when the pair has no direct NVLink. Fault injection
+// targets both directions of the physical link.
+func (n *Node) NVLinkPair(a, b int) (ab, ba *flownet.Link) {
+	return n.nvlink[[2]int{a, b}], n.nvlink[[2]int{b, a}]
+}
+
+// XBusPair returns the two directed X-Bus links between sockets s1 and s2,
+// or (nil, nil) for an invalid pair.
+func (n *Node) XBusPair(s1, s2 int) (ab, ba *flownet.Link) {
+	return n.xbus[[2]int{s1, s2}], n.xbus[[2]int{s2, s1}]
+}
+
+// NIC returns the node's injection links, per direction.
+func (n *Node) NIC() (out, in *flownet.Link) { return n.nicOut, n.nicIn }
+
+// GPUSocketLinks returns local GPU g's links to its socket complex (the
+// GPU-CPU NVLink), per direction.
+func (n *Node) GPUSocketLinks(g int) (up, down *flownet.Link) {
+	return n.gpuUp[g], n.gpuDown[g]
+}
+
 // HostMem exposes the per-socket host memory link (used by MPI's
 // shared-memory transport).
 func (n *Node) HostMem(socket int) *flownet.Link { return n.hostMem[socket] }
+
+// IntraLinks returns every directed link inside the node — NVLinks, X-Bus,
+// GPU-socket links, and host memory engines — in a deterministic order, for
+// health scans by the degradation monitor.
+func (n *Node) IntraLinks() []*flownet.Link {
+	var ls []*flownet.Link
+	g := n.Config.GPUs()
+	for a := 0; a < g; a++ {
+		for b := 0; b < g; b++ {
+			if l, ok := n.nvlink[[2]int{a, b}]; ok {
+				ls = append(ls, l)
+			}
+		}
+	}
+	for s1 := 0; s1 < n.Config.Sockets; s1++ {
+		for s2 := 0; s2 < n.Config.Sockets; s2++ {
+			if l, ok := n.xbus[[2]int{s1, s2}]; ok {
+				ls = append(ls, l)
+			}
+		}
+	}
+	for a := 0; a < g; a++ {
+		ls = append(ls, n.gpuUp[a], n.gpuDown[a])
+	}
+	for s := 0; s < n.Config.Sockets; s++ {
+		ls = append(ls, n.hostMem[s])
+	}
+	return ls
+}
 
 // DevToDevPath returns the flow path for a peer (GPUDirect P2P) copy between
 // two GPUs on this node. Same-triad pairs take the dedicated NVLink; pairs on

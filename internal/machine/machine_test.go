@@ -203,3 +203,45 @@ func TestBadConfigPanics(t *testing.T) {
 	}()
 	New(e, 0, SummitNode(), DefaultParams())
 }
+
+// TestFaultLinkAccessors exercises the fault-injection link surface.
+func TestFaultLinkAccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewSummit(eng, 1)
+	n := m.Nodes[0]
+
+	ab, ba := n.NVLinkPair(0, 1)
+	if ab == nil || ba == nil {
+		t.Fatal("same-triad pair (0,1) has no NVLink")
+	}
+	if ab == ba {
+		t.Fatal("NVLinkPair returned the same directed link twice")
+	}
+	if x, y := n.NVLinkPair(0, 3); x != nil || y != nil {
+		t.Error("cross-socket pair (0,3) reported a direct NVLink")
+	}
+	s01, s10 := n.XBusPair(0, 1)
+	if s01 == nil || s10 == nil {
+		t.Fatal("XBusPair(0,1) returned nil")
+	}
+	out, in := n.NIC()
+	if out == nil || in == nil || out == in {
+		t.Fatal("NIC links wrong")
+	}
+	up, down := n.GPUSocketLinks(2)
+	if up == nil || down == nil || up == down {
+		t.Fatal("GPUSocketLinks wrong")
+	}
+
+	// A degraded NVLink is visible through the discovery surface the
+	// placement phase consumes.
+	healthy := n.TheoreticalBW(0, 1)
+	m.Net.DegradeLink(ab, 0.5)
+	if got := n.TheoreticalBW(0, 1); got != healthy/2 {
+		t.Errorf("TheoreticalBW after degrade: got %g want %g", got, healthy/2)
+	}
+	m.Net.RestoreLink(ab)
+	if got := n.TheoreticalBW(0, 1); got != healthy {
+		t.Errorf("TheoreticalBW after restore: got %g want %g", got, healthy)
+	}
+}

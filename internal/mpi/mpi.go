@@ -38,6 +38,21 @@ type World struct {
 	CUDAAware bool
 	ranks     []*Rank
 
+	// SendTimeout enables timeout/retry semantics for inter-node messages:
+	// a wire transfer still incomplete after this much virtual time is
+	// aborted and re-driven from the start (modelling transport-level
+	// retransmission after a NIC or link fault). Zero disables retries.
+	SendTimeout sim.Time
+	// SendBackoff is the wait between retry attempts; zero uses SendTimeout.
+	SendBackoff sim.Time
+	// SendRetries caps the number of retry attempts per message; after the
+	// cap the message is driven to completion without further aborts (the
+	// simulation never loses a message — a crawling link is eventually
+	// restored or the flow's residual trickle finishes). Zero means 8.
+	SendRetries int
+	// Retries counts retry attempts actually taken, for reporting.
+	Retries int
+
 	barrierCount int
 	barrierSig   *sim.Signal
 	collectives  *coll
@@ -175,6 +190,16 @@ func (r *Rank) Irecv(src, tag int, buf *cudart.Buffer, off, bytes int64) *Reques
 	return req
 }
 
+// PauseProgress occupies the rank's serial MPI progress engine for d virtual
+// seconds, modelling an OS-noise stall or a hung progress thread: queued
+// shared-memory receives and per-message CPU work wait it out. The pause is
+// asynchronous; it queues FIFO behind in-flight progress work.
+func (r *Rank) PauseProgress(d sim.Time) {
+	r.world.M.Eng.Spawn(fmt.Sprintf("rank%d.pause", r.ID), func(p *sim.Proc) {
+		r.progress.Use(p, func() { p.Sleep(d) })
+	})
+}
+
 func (r *Rank) checkBuf(buf *cudart.Buffer) {
 	if buf.Host() {
 		return
@@ -199,6 +224,54 @@ func (w *World) transfer(send, recv *Request) {
 		return
 	}
 	w.hostTransfer(send, recv)
+}
+
+// startFlowRetry starts a wire transfer under the world's timeout/retry
+// policy and invokes onDone exactly once, when an attempt finally completes.
+// With retries disabled it degenerates to a plain flow. An attempt that is
+// still in flight after SendTimeout is aborted (bytes moved so far are
+// discarded, as a transport retransmission would) and re-driven after the
+// backoff; past the retry cap the last attempt runs to completion unaborted.
+func (w *World) startFlowRetry(name string, path []*flownet.Link, bytes float64, onDone func()) {
+	eng := w.M.Eng
+	if w.SendTimeout <= 0 {
+		f := w.M.Net.StartFlow(name, path, bytes)
+		f.Done().OnFire(onDone)
+		return
+	}
+	backoff := w.SendBackoff
+	if backoff <= 0 {
+		backoff = w.SendTimeout
+	}
+	maxRetries := w.SendRetries
+	if maxRetries <= 0 {
+		maxRetries = 8
+	}
+	var attempt func(n int)
+	attempt = func(n int) {
+		f := w.M.Net.StartFlow(name, path, bytes)
+		f.Done().OnFire(onDone)
+		if n >= maxRetries {
+			return // final attempt: no deadline, runs to completion
+		}
+		eng.After(w.SendTimeout, func() {
+			if f.Done().Fired() {
+				return
+			}
+			w.M.Net.Abort(f)
+			w.Retries++
+			eng.After(backoff, func() { attempt(n + 1) })
+		})
+	}
+	attempt(0)
+}
+
+// transferRetry is startFlowRetry for process code: park until the message
+// lands.
+func (w *World) transferRetry(pr *sim.Proc, name string, path []*flownet.Link, bytes float64) {
+	done := sim.NewSignal(w.M.Eng, name+".retrydone")
+	w.startFlowRetry(name, path, bytes, done.Fire)
+	done.Wait(pr)
 }
 
 // hostTransfer implements the host-buffer transport.
@@ -227,7 +300,7 @@ func (w *World) hostTransfer(send, recv *Request) {
 			// NIC DMA: the progress engine is held only for per-message CPU
 			// work; the wire transfer proceeds without it.
 			dstRank.progress.Use(pr, func() { pr.Sleep(p.MPIIntraLatency) })
-			w.M.Net.Transfer(pr, "mpi.nic", path, float64(send.bytes))
+			w.transferRetry(pr, "mpi.nic", path, float64(send.bytes))
 		}
 		commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
 		send.done.Fire()
@@ -275,8 +348,7 @@ func (w *World) cudaAwareTransfer(send, recv *Request) {
 		deps := []*sim.Signal{sdev.AllWorkEvent()}
 		copyDone := sdev.DefaultStream().Enqueue(func(done *sim.Signal) {
 			eng.After(issue, func() {
-				f := w.M.Net.StartFlow("mpi.ca", path, float64(send.bytes))
-				f.Done().OnFire(func() {
+				w.startFlowRetry("mpi.ca", path, float64(send.bytes), func() {
 					commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
 					done.Fire()
 				})

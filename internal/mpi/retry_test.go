@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/sim"
+)
+
+// TestSendRetryOverFlappedNIC: an inter-node message in flight when the NIC
+// fails is aborted by the timeout and retried until the NIC recovers; the
+// payload arrives intact and the retry counter records the attempts.
+func TestSendRetryOverFlappedNIC(t *testing.T) {
+	e, rt, w := setup(2, 1, false, true)
+	w.SendTimeout = 10e-3
+	w.SendBackoff = 5e-3
+
+	const bytes = 8 << 20 // ~0.7 ms healthy wire time at 12.5 GB/s per hop
+	src := rt.MallocHost(0, 0, bytes)
+	dst := rt.MallocHost(1, 0, bytes)
+	for i := 0; i < 256; i++ {
+		src.Data()[i] = byte(i)
+	}
+	nicOut, _ := w.M.Nodes[0].NIC()
+	// Fail the sender's NIC before the message starts, restore at t=40ms:
+	// the first attempts crawl at the residual trickle and time out.
+	e.At(0, func() { w.M.Net.FailLink(nicOut) })
+	e.At(40e-3, func() { w.M.Net.RestoreLink(nicOut) })
+
+	var arrived sim.Time
+	e.Spawn("send", func(p *sim.Proc) {
+		w.Rank(0).Isend(1, 1, src, 0, bytes).Wait(p)
+	})
+	e.Spawn("recv", func(p *sim.Proc) {
+		w.Rank(1).Irecv(0, 1, dst, 0, bytes).Wait(p)
+		arrived = p.Now()
+	})
+	e.Run()
+
+	if w.Retries == 0 {
+		t.Error("no retries recorded across a failed NIC")
+	}
+	if arrived < 40e-3 {
+		t.Errorf("message arrived at %g, before the NIC recovered", arrived)
+	}
+	if arrived > 80e-3 {
+		t.Errorf("message arrived at %g, long after recovery", arrived)
+	}
+	for i := 0; i < 256; i++ {
+		if dst.Data()[i] != byte(i) {
+			t.Fatalf("byte %d corrupted after retries", i)
+		}
+	}
+}
+
+// TestSendRetryDisabledByDefault: without SendTimeout the transfer is a
+// single flow that simply crawls through the outage (no aborts, no retries).
+func TestSendRetryDisabledByDefault(t *testing.T) {
+	e, rt, w := setup(2, 1, false, false)
+	const bytes = 1 << 20
+	src := rt.MallocHost(0, 0, bytes)
+	dst := rt.MallocHost(1, 0, bytes)
+	nicOut, _ := w.M.Nodes[0].NIC()
+	e.At(0, func() { w.M.Net.FailLink(nicOut) })
+	e.At(30e-3, func() { w.M.Net.RestoreLink(nicOut) })
+	e.Spawn("send", func(p *sim.Proc) { w.Rank(0).Isend(1, 1, src, 0, bytes).Wait(p) })
+	e.Spawn("recv", func(p *sim.Proc) { w.Rank(1).Irecv(0, 1, dst, 0, bytes).Wait(p) })
+	e.Run()
+	if w.Retries != 0 {
+		t.Errorf("retries with timeout disabled: got %d want 0", w.Retries)
+	}
+}
+
+// TestSendRetryCapBoundsAborts: the retry cap bounds the abort count and the
+// final attempt is driven to completion even if the link never recovers.
+func TestSendRetryCapBoundsAborts(t *testing.T) {
+	e, rt, w := setup(2, 1, false, false)
+	w.SendTimeout = 1e-3
+	w.SendRetries = 3
+	const bytes = 1 << 20
+	src := rt.MallocHost(0, 0, bytes)
+	dst := rt.MallocHost(1, 0, bytes)
+	nicOut, _ := w.M.Nodes[0].NIC()
+	e.At(0, func() { w.M.Net.FailLink(nicOut) })
+	var arrived bool
+	e.Spawn("send", func(p *sim.Proc) { w.Rank(0).Isend(1, 1, src, 0, bytes).Wait(p) })
+	e.Spawn("recv", func(p *sim.Proc) {
+		w.Rank(1).Irecv(0, 1, dst, 0, bytes).Wait(p)
+		arrived = true
+	})
+	e.Run()
+	if w.Retries != 3 {
+		t.Errorf("retries: got %d want exactly the cap (3)", w.Retries)
+	}
+	if !arrived {
+		t.Error("message never completed on the residual trickle")
+	}
+}
+
+// TestPauseProgress: a paused progress engine delays intra-node
+// shared-memory receives by the pause duration.
+func TestPauseProgress(t *testing.T) {
+	timing := func(pause sim.Time) sim.Time {
+		e, rt, w := setup(1, 2, false, false)
+		const bytes = 4 << 20
+		src := rt.MallocHost(0, 0, bytes)
+		dst := rt.MallocHost(0, 1, bytes)
+		if pause > 0 {
+			e.At(0, func() { w.Rank(1).PauseProgress(pause) })
+		}
+		var arrived sim.Time
+		e.Spawn("send", func(p *sim.Proc) { w.Rank(0).Isend(1, 1, src, 0, bytes).Wait(p) })
+		e.Spawn("recv", func(p *sim.Proc) {
+			w.Rank(1).Irecv(0, 1, dst, 0, bytes).Wait(p)
+			arrived = p.Now()
+		})
+		e.Run()
+		return arrived
+	}
+	base := timing(0)
+	paused := timing(20e-3)
+	if delta := paused - base; delta < 19e-3 || delta > 21e-3 {
+		t.Errorf("pause delayed receive by %g, want ~20ms (base %g, paused %g)", delta, base, paused)
+	}
+}

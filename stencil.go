@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"github.com/nodeaware/stencil/internal/exchange"
+	"github.com/nodeaware/stencil/internal/fault"
 	"github.com/nodeaware/stencil/internal/machine"
 	"github.com/nodeaware/stencil/internal/part"
 	"github.com/nodeaware/stencil/internal/sim"
@@ -63,6 +64,26 @@ const (
 
 // Stats reports measured exchange times and the method breakdown.
 type Stats = exchange.Stats
+
+// FaultScenario is a scripted, deterministic fault schedule: link failures
+// and degradations, NIC flaps, GPU stragglers, rank pauses, each at a fixed
+// virtual time. Build one with the fluent helpers (KillNVLink, FlapNIC,
+// DegradeNIC, StraggleGPU, PauseRank, ...) and pass it as Config.Fault.
+type FaultScenario = fault.Scenario
+
+// FaultEvent, FaultTarget, and FaultRecord expose the scenario building
+// blocks and the applied-fault timeline.
+type (
+	FaultEvent  = fault.Event
+	FaultTarget = fault.Target
+	FaultRecord = fault.Record
+)
+
+// AdaptRecord is one adaptation decision (a method switch or re-placement).
+type AdaptRecord = exchange.AdaptRecord
+
+// PlanInfo is an inspection snapshot of one transfer plan.
+type PlanInfo = exchange.PlanInfo
 
 // Config describes a distributed stencil job.
 type Config struct {
@@ -135,6 +156,36 @@ type Config struct {
 
 	// TraceOps records a timeline of every simulated CUDA operation.
 	TraceOps bool
+
+	// Fault installs a deterministic fault/degradation scenario on the
+	// virtual clock; see FaultScenario. Nil disables injection.
+	Fault *FaultScenario
+
+	// Adaptive enables degradation-aware re-specialization: a health
+	// monitor observes link state between iterations and re-runs phase-3
+	// method selection for plans whose path failed or degraded, promoting
+	// them back on recovery.
+	Adaptive bool
+
+	// AdaptThreshold is the link-health fraction below which a link counts
+	// as degraded (0 defaults to 0.5); AdaptCheckEvery runs the monitor
+	// every N iterations (0 defaults to 1).
+	AdaptThreshold  float64
+	AdaptCheckEvery int
+
+	// AdaptPlacement additionally re-runs phase-2 placement against the
+	// degraded bandwidth matrix when a node's degradation persists for
+	// AdaptPersistTicks monitor ticks (0 defaults to 3), migrating
+	// subdomains whose GPU changes. Requires Adaptive; incompatible with
+	// AggregateRemote.
+	AdaptPlacement    bool
+	AdaptPersistTicks int
+
+	// SendTimeout (seconds of virtual time) enables MPI-level retry: a
+	// wire transfer still in flight after the timeout is aborted and
+	// re-sent, up to SendRetries attempts (0 defaults to 8). 0 disables.
+	SendTimeout float64
+	SendRetries int
 }
 
 // DistributedDomain is a stencil domain decomposed across a simulated
@@ -171,6 +222,14 @@ func New(cfg Config) (*DistributedDomain, error) {
 		NodeConfig:         cfg.NodeConfig,
 		Params:             cfg.Params,
 		TraceOps:           cfg.TraceOps,
+		Fault:              cfg.Fault,
+		Adaptive:           cfg.Adaptive,
+		AdaptThreshold:     cfg.AdaptThreshold,
+		AdaptCheckEvery:    cfg.AdaptCheckEvery,
+		AdaptPlacement:     cfg.AdaptPlacement,
+		AdaptPersistTicks:  cfg.AdaptPersistTicks,
+		SendTimeout:        sim.Time(cfg.SendTimeout),
+		SendRetries:        cfg.SendRetries,
 	})
 	if err != nil {
 		return nil, err
@@ -214,13 +273,26 @@ func (dd *DistributedDomain) Assignment(node int) []int {
 }
 
 // MethodBreakdown returns how many of the per-direction transfer plans use
-// each method.
+// each method. Called before an Exchange it reflects the setup-time
+// selection; called after, any adaptive re-specialization.
 func (dd *DistributedDomain) MethodBreakdown() map[Method]int {
-	out := make(map[Method]int)
-	for _, p := range dd.ex.Plans {
-		out[p.Method]++
+	return dd.ex.MethodCounts()
+}
+
+// PlanInfos snapshots every transfer plan: endpoints, method, bytes, and
+// traffic class. The method column reflects any adaptation so far.
+func (dd *DistributedDomain) PlanInfos() []PlanInfo { return dd.ex.PlanInfos() }
+
+// AdaptLog returns the adaptation timeline recorded so far (method switches
+// and re-placements); empty unless Config.Adaptive.
+func (dd *DistributedDomain) AdaptLog() []AdaptRecord { return dd.ex.AdaptLog }
+
+// FaultLog returns the applied-fault timeline; empty unless Config.Fault.
+func (dd *DistributedDomain) FaultLog() []FaultRecord {
+	if dd.ex.Faults == nil {
+		return nil
 	}
-	return out
+	return dd.ex.Faults.Log()
 }
 
 // Trace returns the recorded operation timeline (Config.TraceOps).
