@@ -1,0 +1,127 @@
+// Command benchdrift gates benchmark results against a checked-in reference.
+//
+// Usage:
+//
+//	benchdrift -ref results/BENCH-smoke.json -got /tmp/BENCH-new.json [-tol 0.20]
+//
+// Both files are stencilbench -json reports. Every reference row with a
+// nonzero simulated time must exist in the new report (matched by experiment
+// name, config, and caps) with a simulated time within the relative
+// tolerance. Wall-clock figures are deliberately ignored — they depend on the
+// host — while simulated (virtual) times are deterministic, so drift beyond
+// the tolerance means the simulation's behavior changed and the reference
+// must be regenerated deliberately.
+//
+// Exit status: 0 when every row is within tolerance, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// row and report mirror the subset of cmd/stencilbench's -json schema that
+// the drift gate consumes.
+type row struct {
+	Config  string  `json:"config"`
+	Caps    string  `json:"caps"`
+	Seconds float64 `json:"seconds"`
+}
+
+type experiment struct {
+	Name string `json:"name"`
+	Rows []row  `json:"rows"`
+}
+
+type report struct {
+	Experiments []experiment `json:"experiments"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// key identifies a row across reports.
+type key struct{ exp, config, caps string }
+
+func index(r *report) map[key]float64 {
+	m := make(map[key]float64)
+	for _, e := range r.Experiments {
+		for _, row := range e.Rows {
+			m[key{e.Name, row.Config, row.Caps}] = row.Seconds
+		}
+	}
+	return m
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdrift", flag.ContinueOnError)
+	refPath := fs.String("ref", "", "reference stencilbench -json report (checked in)")
+	gotPath := fs.String("got", "", "freshly generated stencilbench -json report")
+	tol := fs.Float64("tol", 0.20, "maximum relative drift of simulated times")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" || *gotPath == "" {
+		return fmt.Errorf("benchdrift: both -ref and -got are required")
+	}
+
+	ref, err := load(*refPath)
+	if err != nil {
+		return err
+	}
+	got, err := load(*gotPath)
+	if err != nil {
+		return err
+	}
+	gotIdx := index(got)
+
+	var failures, total int
+	for _, e := range ref.Experiments {
+		for _, r := range e.Rows {
+			if r.Seconds == 0 {
+				continue // descriptive row (hardware table, comm volumes)
+			}
+			total++
+			k := key{e.Name, r.Config, r.Caps}
+			cur, ok := gotIdx[k]
+			if !ok {
+				fmt.Printf("MISSING %s %s %s (reference %.6g s)\n", k.exp, k.config, k.caps, r.Seconds)
+				failures++
+				continue
+			}
+			drift := math.Abs(cur-r.Seconds) / r.Seconds
+			if drift > *tol {
+				fmt.Printf("DRIFT   %s %s %s: %.6g s vs reference %.6g s (%.1f%% > %.0f%%)\n",
+					k.exp, k.config, k.caps, cur, r.Seconds, drift*100, *tol*100)
+				failures++
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("benchdrift: no comparable rows in %s", *refPath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchdrift: %d of %d rows outside %.0f%% tolerance", failures, total, *tol*100)
+	}
+	fmt.Printf("benchdrift: %d rows within %.0f%% of %s\n", total, *tol*100, *refPath)
+	return nil
+}

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	stencilbench -experiment fig11|fig12a|fig12b|fig12c|fig13|fig3|all
-//	             [-maxnodes N] [-iters K] [-json FILE]
+//	stencilbench -experiment fig11|fig12a|fig12b|fig12c|fig13|fig3|fastpath|compare|all
+//	             [-maxnodes N] [-iters K] [-json FILE] [-parallel N] [-compare]
 //
 // With -json FILE the same rows are also written as machine-readable JSON
 // (one object per experiment), so plots and regression checks can consume
 // the results without scraping the text tables.
+//
+// -parallel N runs the simulation engine's deferred payloads on N worker
+// goroutines (0 = sequential; results are bit-identical either way).
+// -compare (or -experiment compare) benchmarks sequential vs parallel wall
+// time on a real-data configuration and verifies bit-identical results.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/nodeaware/stencil/internal/figures"
 )
@@ -28,10 +34,25 @@ func main() {
 	}
 }
 
-// benchExperiment is one experiment's rows in the -json output.
+// benchExperiment is one experiment's rows in the -json output. WallSeconds
+// is how long the simulator itself took to produce the rows, so BENCH.json
+// doubles as a record of the tool's own performance.
 type benchExperiment struct {
-	Name string        `json:"name"`
-	Rows []figures.Row `json:"rows"`
+	Name        string        `json:"name"`
+	WallSeconds float64       `json:"wall_seconds"`
+	Rows        []figures.Row `json:"rows"`
+}
+
+// seedWall64 records the host wall-clock seconds the 64-node weak-scaling
+// ladder (iters=3, sequential engine) took per capability rung at the
+// repository seed, before the fast-path work (incremental waterfill, plan
+// caching, deferred payload execution). The fastpath experiment reports
+// current wall times against these, giving BENCH.json before/after numbers.
+var seedWall64 = map[string]float64{
+	"+remote": 6.800,
+	"+colo":   5.616,
+	"+peer":   5.657,
+	"+kernel": 5.681,
 }
 
 // benchReport is the top-level -json document (BENCH.json).
@@ -44,24 +65,34 @@ type benchReport struct {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stencilbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, all)")
+	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, compare, all)")
 	maxNodes := fs.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
 	iters := fs.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
 	jsonPath := fs.String("json", "", "also write the rows as JSON to this file (e.g. results/BENCH.json)")
+	parallel := fs.Int("parallel", 0, "payload worker goroutines for the simulation engine (0 = sequential; results are bit-identical; -compare defaults to NumCPU)")
+	compare := fs.Bool("compare", false, "shorthand for -experiment compare: benchmark sequential vs parallel engine wall time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	figures.Workers = *parallel
+	if *compare {
+		*experiment = "compare"
+	}
 
 	runners := map[string]func() ([]figures.Row, error){
-		"table1": func() ([]figures.Row, error) { return figures.TableI(), nil },
-		"fig3":   func() ([]figures.Row, error) { return figures.Fig3(), nil },
-		"fig11":  func() ([]figures.Row, error) { return figures.Fig11(*iters) },
-		"fig12a": func() ([]figures.Row, error) { return figures.Fig12a(*iters) },
-		"fig12b": func() ([]figures.Row, error) { return figures.Fig12b(*maxNodes, *iters) },
-		"fig12c": func() ([]figures.Row, error) { return figures.Fig12c(*maxNodes, *iters) },
-		"fig13":  func() ([]figures.Row, error) { return figures.Fig13(*maxNodes, *iters) },
+		"table1":   func() ([]figures.Row, error) { return figures.TableI(), nil },
+		"fig3":     func() ([]figures.Row, error) { return figures.Fig3(), nil },
+		"fig11":    func() ([]figures.Row, error) { return figures.Fig11(*iters) },
+		"fig12a":   func() ([]figures.Row, error) { return figures.Fig12a(*iters) },
+		"fig12b":   func() ([]figures.Row, error) { return figures.Fig12b(*maxNodes, *iters) },
+		"fig12c":   func() ([]figures.Row, error) { return figures.Fig12c(*maxNodes, *iters) },
+		"fig13":    func() ([]figures.Row, error) { return figures.Fig13(*maxNodes, *iters) },
+		"compare":  func() ([]figures.Row, error) { return figures.Compare(*iters, *parallel) },
+		"fastpath": func() ([]figures.Row, error) { return figures.FastPath(*iters, seedWall64) },
 	}
-	order := []string{"table1", "fig3", "fig11", "fig12a", "fig12b", "fig12c", "fig13"}
+	// "compare" is opt-in (not part of "all"): it re-runs configurations
+	// twice to measure the simulator itself rather than the modeled machine.
+	order := []string{"table1", "fig3", "fig11", "fig12a", "fig12b", "fig12c", "fig13", "fastpath"}
 
 	which := order
 	if *experiment != "all" {
@@ -74,15 +105,19 @@ func run(args []string, out io.Writer) error {
 	report := benchReport{Tool: "stencilbench", MaxNodes: *maxNodes, Iters: *iters}
 	for _, name := range which {
 		fmt.Fprintf(out, "== %s ==\n", name)
+		start := time.Now()
 		rows, err := runners[name]()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		wall := time.Since(start).Seconds()
 		for _, r := range rows {
 			fmt.Fprintln(out, r)
 		}
 		fmt.Fprintln(out)
-		report.Experiments = append(report.Experiments, benchExperiment{Name: name, Rows: rows})
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Name: name, WallSeconds: wall, Rows: rows,
+		})
 	}
 
 	if *jsonPath != "" {

@@ -29,6 +29,11 @@ const (
 	OpMemcpyD2D
 	OpMemcpyD2H
 	OpMemcpyH2D
+	OpMemcpyH2H // host-side staging copy (shared-memory or NIC delivery)
+
+	// NumOpKinds is the number of OpKind values; glyph tables and other
+	// per-kind maps are tested for exhaustiveness against it.
+	NumOpKinds
 )
 
 func (k OpKind) String() string {
@@ -41,6 +46,8 @@ func (k OpKind) String() string {
 		return "memcpyD2H"
 	case OpMemcpyH2D:
 		return "memcpyH2D"
+	case OpMemcpyH2H:
+		return "memcpyH2H"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -91,6 +98,11 @@ func (rt *Runtime) record(r OpRecord) {
 		rt.OnOp(r)
 	}
 }
+
+// Record feeds an externally produced op record to the trace hook. The MPI
+// layer uses it to surface host-side staging copies in the same timeline as
+// stream ops.
+func (rt *Runtime) Record(r OpRecord) { rt.record(r) }
 
 // Device is one simulated GPU.
 type Device struct {
@@ -353,11 +365,16 @@ func (s *Stream) Kernel(name string, bytes int64, bw float64, commit func(), dep
 		dur += float64(bytes) / bw
 	}
 	dur *= s.dev.SlowFactor()
+	key := int32(s.dev.ID)
 	return s.enqueue(func(done *sim.Signal) {
 		start := eng.Now()
 		eng.After(dur, func() {
+			// The payload (real pack/unpack/compute) is pure per-device
+			// data work; defer it to the parallel executor. Recording and
+			// the completion signal stay in event context so trace order
+			// and scheduling are identical under any worker count.
 			if commit != nil {
-				commit()
+				eng.Defer(commit, key, key)
 			}
 			rt.record(OpRecord{Kind: OpKernel, Name: name, Device: s.dev.ID, Stream: s.name, Start: start, End: eng.Now(), Bytes: bytes})
 			done.Fire()
@@ -371,17 +388,32 @@ func (s *Stream) memcpyFlow(kind OpKind, name string, path []*flownet.Link, dst,
 	eng := rt.M.Eng
 	checkRange(dst, dstOff, bytes)
 	checkRange(src, srcOff, bytes)
+	// Host-side buffers take the key of the device moving their bytes: no
+	// other deferred op touches a staging buffer within the same instant
+	// (cross-instant readers are safe after the flush).
+	k1, k2 := bufKey(src, s.dev), bufKey(dst, s.dev)
 	return s.enqueue(func(done *sim.Signal) {
 		start := eng.Now()
 		f := rt.M.Net.StartFlow(name, path, float64(bytes))
 		f.Done().OnFire(func() {
 			if dst.data != nil && src.data != nil {
-				copy(dst.data[dstOff:dstOff+bytes], src.data[srcOff:srcOff+bytes])
+				eng.Defer(func() {
+					copy(dst.data[dstOff:dstOff+bytes], src.data[srcOff:srcOff+bytes])
+				}, k1, k2)
 			}
 			rt.record(OpRecord{Kind: kind, Name: name, Device: s.dev.ID, Stream: s.name, Start: start, End: eng.Now(), Bytes: bytes})
 			done.Fire()
 		})
 	}, deps...)
+}
+
+// bufKey is the parallel-executor key of a buffer: its owning device, or —
+// for host buffers — the device driving the copy.
+func bufKey(b *Buffer, driver *Device) int32 {
+	if b.dev != nil {
+		return int32(b.dev.ID)
+	}
+	return int32(driver.ID)
 }
 
 func checkRange(b *Buffer, off, bytes int64) {

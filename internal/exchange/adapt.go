@@ -88,6 +88,36 @@ func (e *Exchanger) stagedLinks(pl *Plan) []*flownet.Link {
 	return path
 }
 
+// planPaths caches one plan's candidate link paths so the monitor does not
+// rebuild (and re-allocate) them on every tick. Invalidated when re-placement
+// moves the plan's endpoints.
+type planPaths struct {
+	built bool
+	p2p   []*flownet.Link // intra-node device-to-device (Peer/Colocated rungs)
+	ca    []*flownet.Link // CUDA-aware remote path
+}
+
+// pathsOf returns the plan's cached candidate paths, building them on first
+// use (or after invalidation).
+func (e *Exchanger) pathsOf(pl *Plan) *planPaths {
+	if e.planPaths == nil {
+		e.planPaths = make([]planPaths, len(e.Plans))
+	}
+	pp := &e.planPaths[pl.ID]
+	if !pp.built {
+		pp.built = true
+		src, dst := pl.Src, pl.Dst
+		pp.p2p, pp.ca = nil, nil
+		if src.NodeID == dst.NodeID {
+			pp.p2p = e.M.Nodes[src.NodeID].DevToDevPath(src.LocalGPU, dst.LocalGPU)
+		}
+		if e.Opts.CUDAAware {
+			pp.ca = e.M.DevToDevRemotePath(src.NodeID, src.LocalGPU, dst.NodeID, dst.LocalGPU)
+		}
+	}
+	return pp
+}
+
 // pickMethodHealthy is pickMethod with a health gate on each rung: the
 // first-applicable method whose links are all up and above the threshold
 // wins; STAGED is the unconditional floor (it has no alternative). With
@@ -99,23 +129,51 @@ func (e *Exchanger) pickMethodHealthy(pl *Plan) Method {
 		// Device-internal; no link to degrade and no cheaper fallback.
 		return MethodKernel
 	}
-	sameNode := src.NodeID == dst.NodeID
-	if sameNode {
-		p2p := e.M.Nodes[src.NodeID].DevToDevPath(src.LocalGPU, dst.LocalGPU)
-		if src.Rank == dst.Rank && caps.Peer && e.linksHealthy(p2p) {
+	pp := e.pathsOf(pl)
+	if src.NodeID == dst.NodeID {
+		if src.Rank == dst.Rank && caps.Peer && e.linksHealthy(pp.p2p) {
 			return MethodPeer
 		}
-		if src.Rank != dst.Rank && caps.Colocated && e.linksHealthy(p2p) {
+		if src.Rank != dst.Rank && caps.Colocated && e.linksHealthy(pp.p2p) {
 			return MethodColocated
 		}
 	}
-	if e.Opts.CUDAAware {
-		ca := e.M.DevToDevRemotePath(src.NodeID, src.LocalGPU, dst.NodeID, dst.LocalGPU)
-		if e.linksHealthy(ca) {
-			return MethodCudaAware
-		}
+	if e.Opts.CUDAAware && e.linksHealthy(pp.ca) {
+		return MethodCudaAware
 	}
 	return MethodStaged
+}
+
+// healthMask packs the health state of every link the method selection can
+// observe — each plan's candidate paths, in plan order — into a string key:
+// one byte per link, bit 0 = down, bit 1 = below the degradation threshold.
+// Two ticks with equal masks select identical method vectors, so the mask
+// keys the methodMemo. The mask is exact (no hashing): a collision would
+// silently mis-specialize plans.
+func (e *Exchanger) healthMask() string {
+	thr := e.adaptThreshold()
+	buf := make([]byte, 0, 2*len(e.Plans))
+	state := func(l *flownet.Link) byte {
+		var b byte
+		if l.Down() {
+			b |= 1
+		}
+		if l.Health() < thr {
+			b |= 2
+		}
+		return b
+	}
+	for _, pl := range e.Plans {
+		pp := e.pathsOf(pl)
+		for _, l := range pp.p2p {
+			buf = append(buf, state(l))
+		}
+		for _, l := range pp.ca {
+			buf = append(buf, state(l))
+		}
+		buf = append(buf, 0xff) // plan separator
+	}
+	return string(buf)
 }
 
 // switchMethod re-specializes a plan, stashing the old method's resources
@@ -154,24 +212,66 @@ func (e *Exchanger) logAdapt(r AdaptRecord) {
 
 // adaptTick is the monitor body. It runs on rank 0's proc at the inter-
 // iteration safe point and re-specializes every plan against live health.
+//
+// Two caches keep the steady state cheap. First, the flow network counts
+// health mutations (link fail/degrade/restore, capacity change); a tick whose
+// counter matches the last rescan skips plan re-specialization outright —
+// nothing selection observes can have changed. Second, when a rescan does
+// run, the selected method vector is memoized under the exact health mask,
+// so a recurring fault pattern (a flapping NIC, a periodic degradation)
+// replays the earlier decision instead of re-running selection per plan.
+// Re-placement persistence tracking still runs every tick: degradeStreak
+// counts ticks, not health transitions.
 func (e *Exchanger) adaptTick(p *sim.Proc) {
-	for _, pl := range e.Plans {
-		if pl.group != nil {
-			continue // aggregated inter-node STAGED: already the floor
-		}
-		want := e.pickMethodHealthy(pl)
-		if want == pl.Method {
-			continue
-		}
-		reason := "degraded path"
-		if want < pl.Method {
-			reason = "path recovered"
-		}
-		e.switchMethod(pl, want, reason)
+	if mut := e.M.Net.Mutations(); e.adaptSeen != mut+1 {
+		e.adaptSeen = mut + 1
+		e.respecialize()
 	}
 	if e.Opts.AdaptPlacement {
 		e.checkReplacement(p)
 	}
+}
+
+// applyMethod moves a plan to method want if it differs, logging the switch.
+func (e *Exchanger) applyMethod(pl *Plan, want Method) {
+	if want == pl.Method {
+		return
+	}
+	reason := "degraded path"
+	if want < pl.Method {
+		reason = "path recovered"
+	}
+	e.switchMethod(pl, want, reason)
+}
+
+// respecialize re-runs phase-3 method selection for every plan against live
+// link health, via the health-mask memo when this exact mask has been decided
+// before.
+func (e *Exchanger) respecialize() {
+	mask := e.healthMask()
+	if vec, ok := e.methodMemo[mask]; ok {
+		for i, pl := range e.Plans {
+			if pl.group != nil {
+				continue
+			}
+			e.applyMethod(pl, vec[i])
+		}
+		return
+	}
+	for _, pl := range e.Plans {
+		if pl.group != nil {
+			continue // aggregated inter-node STAGED: already the floor
+		}
+		e.applyMethod(pl, e.pickMethodHealthy(pl))
+	}
+	vec := make([]Method, len(e.Plans))
+	for i, pl := range e.Plans {
+		vec[i] = pl.Method
+	}
+	if e.methodMemo == nil {
+		e.methodMemo = make(map[string][]Method)
+	}
+	e.methodMemo[mask] = vec
 }
 
 // checkReplacement tracks per-node degradation persistence and re-runs
@@ -242,7 +342,12 @@ func (e *Exchanger) replaceNode(p *sim.Proc, n int) {
 	}
 	sim.WaitAll(p, migrations...)
 	e.Assignments[n] = asgn
-	// Endpoints moved: every plan touching this node re-specializes from
+	// Endpoints moved: cached candidate paths and memoized method vectors
+	// describe the old device assignment — drop them wholesale (re-placement
+	// is rare; the caches rebuild lazily).
+	e.planPaths = nil
+	e.methodMemo = nil
+	// Every plan touching this node re-specializes from
 	// scratch (cached resources sit on the wrong devices now).
 	for _, pl := range e.Plans {
 		if pl.Src.NodeID != n && pl.Dst.NodeID != n {

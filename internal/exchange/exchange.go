@@ -176,6 +176,14 @@ type Options struct {
 
 	// TraceOps records every CUDA op for Fig 9-style timelines.
 	TraceOps bool
+
+	// Workers sets the number of goroutines executing deferred payload work
+	// (real-data byte copies and pack/unpack commits) between virtual-time
+	// barriers. 0 or 1 keeps the engine fully sequential. Results are
+	// bit-for-bit identical either way (see internal/sim/parallel.go and
+	// TestParallelDeterminism); only RealData runs have meaningful payloads,
+	// so that is where the speedup shows.
+	Workers int
 }
 
 // Sub is one subdomain bound to a GPU.
@@ -216,6 +224,31 @@ type Plan struct {
 	// pair; aggOffset locates this plan's slice in the group buffers.
 	group     *msgGroup
 	aggOffset int64
+
+	// names caches the per-plan op labels (lazily built on first use) so
+	// the per-iteration hot path doesn't re-Sprintf them.
+	names *planNames
+}
+
+// planNames are the stream-op labels of one plan, formatted once.
+type planNames struct {
+	kernelEx, pack, unpack, peerCp, coloCp, d2h, h2d string
+}
+
+func (pl *Plan) opNames() *planNames {
+	if pl.names == nil {
+		id := pl.ID
+		pl.names = &planNames{
+			kernelEx: fmt.Sprintf("kernelex.p%d", id),
+			pack:     fmt.Sprintf("pack.p%d", id),
+			unpack:   fmt.Sprintf("unpack.p%d", id),
+			peerCp:   fmt.Sprintf("peercp.p%d", id),
+			coloCp:   fmt.Sprintf("colocp.p%d", id),
+			d2h:      fmt.Sprintf("d2h.p%d", id),
+			h2d:      fmt.Sprintf("h2d.p%d", id),
+		}
+	}
+	return pl.names
 }
 
 // msgGroup is one rank pair's aggregated inter-node message.
@@ -281,6 +314,17 @@ type Exchanger struct {
 	degradeStreak []int
 	replaceDone   []bool
 
+	// Adaptive-monitor caches (see adapt.go). adaptSeen is the flow network's
+	// mutation counter (+1) at the last plan rescan: ticks with no link
+	// fail/degrade/restore since then skip re-specialization entirely.
+	// planPaths caches each plan's candidate link paths (invalidated by
+	// re-placement); methodMemo maps a health mask to the full method vector
+	// it selects, so recurring fault patterns (a flapping NIC) replay the
+	// prior decision instead of re-running selection.
+	adaptSeen  uint64
+	planPaths  []planPaths
+	methodMemo map[string][]Method
+
 	// Setup wall-clock costs (host-side, not simulated): the paper's §VI
 	// notes the placement algorithm should have negligible impact when
 	// properly implemented; these make that measurable.
@@ -325,6 +369,7 @@ func New(opts Options) (*Exchanger, error) {
 	}
 
 	eng := sim.NewEngine()
+	eng.SetWorkers(opts.Workers)
 	m := machine.New(eng, opts.Nodes, nodeCfg, params)
 	switch {
 	case opts.FairnessHorizon > 0:

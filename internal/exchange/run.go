@@ -21,13 +21,14 @@ type step struct {
 // return multi-state machines.
 func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 	rt := e.RT
+	nm := pl.opNames()
 	switch pl.Method {
 	case MethodKernel:
 		// One kernel moves the wrapped halo inside device memory; no pack
 		// or unpack (lowest-overhead method).
 		rt.LaunchCost(p)
 		done := pl.Src.kernelStream.Kernel(
-			fmt.Sprintf("kernelex.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			nm.kernelEx, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Src.Dom.SelfExchange(pl.Dir) })
 		return []*step{{sig: done}}
 
@@ -35,13 +36,13 @@ func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		// pack -> cudaMemcpyPeerAsync -> unpack; the whole chain is CUDA
 		// ops, ordered by streams and an event dependency.
 		rt.LaunchCost(p)
-		pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+		pl.sendStream.Kernel(nm.pack, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
 		rt.IssueCost(p)
-		cp := pl.sendStream.MemcpyPeerAsync(fmt.Sprintf("peercp.p%d", pl.ID),
+		cp := pl.sendStream.MemcpyPeerAsync(nm.peerCp,
 			pl.devRecv, 0, pl.devSend, 0, pl.Bytes)
 		rt.LaunchCost(p)
-		up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+		up := pl.recvStream.Kernel(nm.unpack, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) }, cp)
 		return []*step{{sig: up}}
 
@@ -51,10 +52,10 @@ func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		// event (the slot) tells the receiver it landed.
 		slot := e.slot(pl.ID, iter)
 		rt.LaunchCost(p)
-		pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+		pl.sendStream.Kernel(nm.pack, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
 		rt.IssueCost(p)
-		cp := pl.sendStream.MemcpyPeerAsync(fmt.Sprintf("colocp.p%d", pl.ID),
+		cp := pl.sendStream.MemcpyPeerAsync(nm.coloCp,
 			pl.devRecv, 0, pl.devSend, 0, pl.Bytes)
 		cp.OnFire(slot.Fire)
 		return []*step{{sig: cp}}
@@ -65,11 +66,11 @@ func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		// the rank pair's shared buffer; the last staging triggers one
 		// combined Isend.
 		rt.LaunchCost(p)
-		pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+		pl.sendStream.Kernel(nm.pack, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
 		rt.IssueCost(p)
 		if g := pl.group; g != nil {
-			d2h := pl.sendStream.MemcpyAsync(fmt.Sprintf("d2h.p%d", pl.ID),
+			d2h := pl.sendStream.MemcpyAsync(nm.d2h,
 				g.hostSend, pl.aggOffset, pl.devSend, 0, pl.Bytes)
 			return []*step{{sig: d2h, next: func(p *sim.Proc) *step {
 				gs := e.groupStateOf(g, iter)
@@ -85,7 +86,7 @@ func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 				return &step{sig: gs.sendDone}
 			}}}
 		}
-		d2h := pl.sendStream.MemcpyAsync(fmt.Sprintf("d2h.p%d", pl.ID),
+		d2h := pl.sendStream.MemcpyAsync(nm.d2h,
 			pl.hostSend, 0, pl.devSend, 0, pl.Bytes)
 		return []*step{{sig: d2h, next: func(p *sim.Proc) *step {
 			req := e.W.Rank(pl.Src.Rank).Isend(pl.Dst.Rank, pl.Tag, pl.hostSend, 0, pl.Bytes)
@@ -96,7 +97,7 @@ func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		// pack on the stream; once packed, the device buffer goes straight
 		// to MPI (which internally serializes on the default stream).
 		rt.LaunchCost(p)
-		pack := pl.sendStream.Kernel(fmt.Sprintf("pack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+		pack := pl.sendStream.Kernel(nm.pack, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Src.Dom.Pack(pl.devSend.Data(), pl.Dir) })
 		return []*step{{sig: pack, next: func(p *sim.Proc) *step {
 			req := e.W.Rank(pl.Src.Rank).Isend(pl.Dst.Rank, pl.Tag, pl.devSend, 0, pl.Bytes)
@@ -109,6 +110,7 @@ func (e *Exchanger) senderSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 // recverSteps issues the receive side of a plan for methods that need one.
 func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 	rt := e.RT
+	nm := pl.opNames()
 	switch pl.Method {
 	case MethodKernel, MethodPeer:
 		return nil // handled entirely by the sender's rank (same process)
@@ -123,7 +125,7 @@ func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 			// instead, then launch the unpack.
 			return []*step{{sig: slot, next: func(p *sim.Proc) *step {
 				rt.LaunchCost(p)
-				up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+				up := pl.recvStream.Kernel(nm.unpack, pl.Bytes, e.M.Params.PackBW,
 					func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
 				return &step{sig: up}
 			}}}
@@ -131,7 +133,7 @@ func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		// Pre-launch the unpack gated on the shared IPC event; the stream
 		// waits, the CPU does not.
 		rt.LaunchCost(p)
-		up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+		up := pl.recvStream.Kernel(nm.unpack, pl.Bytes, e.M.Params.PackBW,
 			func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) }, slot)
 		return []*step{{sig: up}}
 
@@ -145,10 +147,10 @@ func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 			}
 			return []*step{{sig: gs.recvDone, next: func(p *sim.Proc) *step {
 				rt.IssueCost(p)
-				pl.recvStream.MemcpyAsync(fmt.Sprintf("h2d.p%d", pl.ID),
+				pl.recvStream.MemcpyAsync(nm.h2d,
 					pl.devRecv, 0, g.hostRecv, pl.aggOffset, pl.Bytes)
 				rt.LaunchCost(p)
-				up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+				up := pl.recvStream.Kernel(nm.unpack, pl.Bytes, e.M.Params.PackBW,
 					func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
 				return &step{sig: up}
 			}}}
@@ -156,10 +158,10 @@ func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		req := e.W.Rank(pl.Dst.Rank).Irecv(pl.Src.Rank, pl.Tag, pl.hostRecv, 0, pl.Bytes)
 		return []*step{{sig: req.Done(), next: func(p *sim.Proc) *step {
 			rt.IssueCost(p)
-			pl.recvStream.MemcpyAsync(fmt.Sprintf("h2d.p%d", pl.ID),
+			pl.recvStream.MemcpyAsync(nm.h2d,
 				pl.devRecv, 0, pl.hostRecv, 0, pl.Bytes)
 			rt.LaunchCost(p)
-			up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			up := pl.recvStream.Kernel(nm.unpack, pl.Bytes, e.M.Params.PackBW,
 				func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
 			return &step{sig: up}
 		}}}
@@ -168,12 +170,61 @@ func (e *Exchanger) recverSteps(p *sim.Proc, pl *Plan, iter int) []*step {
 		req := e.W.Rank(pl.Dst.Rank).Irecv(pl.Src.Rank, pl.Tag, pl.devRecv, 0, pl.Bytes)
 		return []*step{{sig: req.Done(), next: func(p *sim.Proc) *step {
 			rt.LaunchCost(p)
-			up := pl.recvStream.Kernel(fmt.Sprintf("unpack.p%d", pl.ID), pl.Bytes, e.M.Params.PackBW,
+			up := pl.recvStream.Kernel(nm.unpack, pl.Bytes, e.M.Params.PackBW,
 				func() { pl.Dst.Dom.Unpack(pl.devRecv.Data(), neg(pl.Dir)) })
 			return &step{sig: up}
 		}}}
 	}
 	panic("exchange: unknown method")
+}
+
+// stepDriver drives a rank's state machines to completion with a ready
+// queue: each step registers a single OnFire callback that enqueues it when
+// its signal fires, and the rank process parks on one reusable Gate instead
+// of re-registering with every outstanding signal per wake (the previous
+// WaitAny loop was quadratic in the number of in-flight transfers).
+type stepDriver struct {
+	gate    *sim.Gate
+	pending int // steps whose signal has not fired yet
+	ready   []*step
+	cursor  int
+}
+
+func (d *stepDriver) add(st *step) {
+	if st.sig.Fired() {
+		d.ready = append(d.ready, st)
+		return
+	}
+	d.pending++
+	st.sig.OnFire(func() {
+		d.pending--
+		d.ready = append(d.ready, st)
+		d.gate.Open()
+	})
+}
+
+// drain advances fired steps in fire order until no machine remains. A
+// step's continuation may sleep, which lets further steps fire and extend
+// the ready queue mid-scan; the cursor loop picks them up in order.
+func (d *stepDriver) drain(p *sim.Proc) {
+	for {
+		for d.cursor < len(d.ready) {
+			st := d.ready[d.cursor]
+			d.ready[d.cursor] = nil
+			d.cursor++
+			if st.next != nil {
+				if ns := st.next(p); ns != nil {
+					d.add(ns)
+				}
+			}
+		}
+		d.ready = d.ready[:0]
+		d.cursor = 0
+		if d.pending == 0 {
+			return
+		}
+		d.gate.Await()
+	}
 }
 
 // runIteration performs one full halo exchange from the perspective of one
@@ -184,34 +235,19 @@ func (e *Exchanger) runIteration(p *sim.Proc, rank, iter int) {
 		e.runIterationSerial(p, rank, iter)
 		return
 	}
-	var active []*step
+	d := &stepDriver{gate: sim.NewGate(p)}
 	// Receives first so no send can block on an unposted receive.
 	for _, pl := range e.recvDutiesOf(rank) {
-		active = append(active, e.recverSteps(p, pl, iter)...)
+		for _, st := range e.recverSteps(p, pl, iter) {
+			d.add(st)
+		}
 	}
 	for _, pl := range e.sendDutiesOf(rank) {
-		active = append(active, e.senderSteps(p, pl, iter)...)
-	}
-	for len(active) > 0 {
-		sigs := make([]*sim.Signal, len(active))
-		for i, st := range active {
-			sigs[i] = st.sig
+		for _, st := range e.senderSteps(p, pl, iter) {
+			d.add(st)
 		}
-		sim.WaitAny(p, sigs...)
-		next := active[:0:0]
-		for _, st := range active {
-			if !st.sig.Fired() {
-				next = append(next, st)
-				continue
-			}
-			if st.next != nil {
-				if ns := st.next(p); ns != nil {
-					next = append(next, ns)
-				}
-			}
-		}
-		active = next
 	}
+	d.drain(p)
 }
 
 // runIterationSerial is the NoOverlap ablation: receives are still posted up

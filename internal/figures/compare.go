@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/nodeaware/stencil/internal/exchange"
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+// FastPath times the simulator itself (host wall-clock, not simulated time)
+// on the 64-node weak-scaling ladder — the configuration the fast-path work
+// (incremental waterfill, plan caching, deferred payload execution) targets.
+// baseline maps a rung's caps label to the wall seconds the same run took at
+// an earlier commit; when present, the row reports the speedup against it.
+func FastPath(iters int, baseline map[string]float64) ([]Row, error) {
+	const nodes = 64
+	edge := CubeEdge(nodes * 6)
+	var rows []Row
+	for _, caps := range Ladder {
+		opts := baseOpts(nodes, 6, edge, caps, false)
+		// Time Run only (not setup), matching how the baseline was measured.
+		e, err := exchange.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		t := e.Run(iters).Min()
+		wall := time.Since(start).Seconds()
+		extra := fmt.Sprintf("wall %.2fs", wall)
+		if b := baseline[opts.CapsString()]; b > 0 {
+			extra = fmt.Sprintf("wall %.2fs (seed baseline %.2fs, %.1fx faster)", wall, b, b/wall)
+		}
+		rows = append(rows, Row{
+			Config: opts.ConfigString(), Caps: opts.CapsString(),
+			Nodes: nodes, Ranks: 6, Domain: edge, Seconds: t, Extra: extra,
+		})
+	}
+	return rows, nil
+}
+
+// Compare benchmarks the parallel payload executor against the sequential
+// engine on a real-data multi-node exchange, one row per capability rung.
+// Each rung runs the identical configuration twice — Workers=0 and
+// Workers=workers — and reports the simulated (virtual) exchange time plus
+// both host wall-clock times and their ratio. The two runs must agree
+// bit-for-bit: identical final virtual time and identical halo fingerprints;
+// a mismatch fails the comparison rather than reporting a tainted speedup.
+//
+// workers <= 0 selects runtime.NumCPU(). The virtual times in the rows are
+// what the simulation predicts for the exchange; the wall times are how long
+// the simulator itself took, which is what the parallel engine accelerates.
+func Compare(iters, workers int) ([]Row, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	var rows []Row
+	for _, caps := range Ladder {
+		opts := exchange.Options{
+			Nodes:        2,
+			RanksPerNode: 6,
+			Domain:       part.Dim3{X: 96, Y: 96, Z: 96},
+			Radius:       2,
+			Quantities:   4,
+			ElemSize:     4,
+			Caps:         caps,
+			NodeAware:    true,
+			RealData:     true,
+		}
+		type outcome struct {
+			virt float64
+			wall time.Duration
+			fps  []uint64
+		}
+		runOnce := func(w int) (outcome, error) {
+			o := opts
+			o.Workers = w
+			start := time.Now()
+			e, err := exchange.New(o)
+			if err != nil {
+				return outcome{}, err
+			}
+			st := e.Run(iters)
+			out := outcome{virt: st.Min(), wall: time.Since(start)}
+			for _, s := range e.Subs {
+				out.fps = append(out.fps, s.Dom.Fingerprint())
+			}
+			return out, nil
+		}
+		seq, err := runOnce(0)
+		if err != nil {
+			return nil, err
+		}
+		par, err := runOnce(workers)
+		if err != nil {
+			return nil, err
+		}
+		if seq.virt != par.virt {
+			return nil, fmt.Errorf("compare %s: virtual time diverged: seq %v, par %v",
+				opts.CapsString(), seq.virt, par.virt)
+		}
+		for i := range seq.fps {
+			if seq.fps[i] != par.fps[i] {
+				return nil, fmt.Errorf("compare %s: halo fingerprints diverged at subdomain %d",
+					opts.CapsString(), i)
+			}
+		}
+		rows = append(rows, Row{
+			Config: opts.ConfigString(), Caps: opts.CapsString(),
+			Nodes: opts.Nodes, Ranks: opts.RanksPerNode, Domain: opts.Domain.X,
+			Seconds: seq.virt,
+			Extra: fmt.Sprintf("wall seq %.2fs, par(%d) %.2fs, %.2fx, bit-identical",
+				seq.wall.Seconds(), workers, par.wall.Seconds(),
+				seq.wall.Seconds()/par.wall.Seconds()),
+		})
+	}
+	return rows, nil
+}

@@ -37,6 +37,12 @@ var Ladder = []exchange.Capabilities{
 	exchange.CapsRemote(), exchange.CapsColo(), exchange.CapsPeer(), exchange.CapsAll(),
 }
 
+// Workers is the deferred-payload worker count applied to every experiment
+// configuration (exchange.Options.Workers); zero keeps the simulation engine
+// sequential. Set by cmd/stencilbench's -parallel flag. Results are
+// bit-identical either way — this only changes how fast the simulator runs.
+var Workers int
+
 // CubeEdge computes the paper's weak-scaling domain edge:
 // round(750 * nGPUs^(1/3)), keeping ~750^3 points per GPU in an overall
 // cube.
@@ -64,6 +70,7 @@ func baseOpts(nodes, ranks, edge int, caps exchange.Capabilities, ca bool) excha
 		Caps:         caps,
 		CUDAAware:    ca,
 		NodeAware:    true,
+		Workers:      Workers,
 	}
 }
 
@@ -81,6 +88,7 @@ func Fig11(iters int) ([]Row, error) {
 			ElemSize:     4,
 			Caps:         exchange.CapsAll(),
 			NodeAware:    aware,
+			Workers:      Workers,
 		}
 		t, err := run(opts, iters)
 		if err != nil {

@@ -33,10 +33,18 @@ type Link struct {
 	down     bool    // marked failed by FailLink
 	flows    []*Flow // active flows crossing the link
 
+	// rateSum is the incrementally maintained sum of the current rates of
+	// all flows crossing the link. It lets a bounded-horizon rebalance
+	// subtract the frozen boundary traffic of a horizon link in O(1)
+	// instead of enumerating the link's (possibly thousands of) flows.
+	rateSum float64
+
 	// Scratch fields for rebalance; valid only when visit == Network.epoch.
 	visit      uint64
 	residual   float64
 	unassigned int
+	interior   float64 // rate sum of interior (re-waterfilled) flows
+	off, end   int     // this link's interior-flow segment in Network.arena
 }
 
 // NewLink creates a link with the given capacity in bytes/second.
@@ -69,6 +77,10 @@ func (l *Link) removeFlow(f *Flow) {
 			l.flows[i] = l.flows[len(l.flows)-1]
 			l.flows[len(l.flows)-1] = nil
 			l.flows = l.flows[:len(l.flows)-1]
+			l.rateSum -= f.rate
+			if l.rateSum < 0 {
+				l.rateSum = 0
+			}
 			return
 		}
 	}
@@ -87,24 +99,44 @@ type Flow struct {
 	completion *sim.Event
 
 	visit    uint64 // component-discovery stamp (interior)
-	bvisit   uint64 // boundary stamp
 	assigned uint64 // water-filling stamp
+
+	net     *Network // owner, for flush-forcing accessors
+	pending bool     // started this instant, not yet allocated a rate
+
+	// Intrusive list of active flows (Network.head), maintained so the
+	// reference oracle can enumerate the whole network without the Network
+	// tracking per-flow maps on the hot path.
+	prev, next *Flow
 }
 
 // Done returns the signal fired when the flow's last byte arrives.
 func (f *Flow) Done() *sim.Signal { return f.done }
 
-// Rate returns the currently allocated rate in bytes/second.
-func (f *Flow) Rate() float64 { return f.rate }
+// Rate returns the currently allocated rate in bytes/second. Rate changes
+// from the current instant are materialized first (see Network batching).
+func (f *Flow) Rate() float64 {
+	if f.net != nil {
+		f.net.flushPending()
+	}
+	return f.rate
+}
 
 // Remaining returns the bytes not yet transferred as of the last rate change.
-func (f *Flow) Remaining() float64 { return f.remaining }
+func (f *Flow) Remaining() float64 {
+	if f.net != nil {
+		f.net.flushPending()
+	}
+	return f.remaining
+}
 
 // Network owns a set of links and the active flows over them.
 type Network struct {
-	eng    *sim.Engine
-	active int
-	epoch  uint64
+	eng       *sim.Engine
+	active    int
+	epoch     uint64
+	head      *Flow  // intrusive list of active flows
+	mutations uint64 // capacity-change counter (see Mutations)
 
 	// MaxHops bounds how far a rate recomputation propagates from the
 	// changed flow, measured in link hops of the link-flow bipartite graph.
@@ -117,20 +149,83 @@ type Network struct {
 	// near-linear in events.
 	MaxHops int
 
+	// Same-instant batching: flow arrivals, departures, and capacity
+	// changes within one virtual instant queue their seed links here and a
+	// single water-fill runs when the engine is about to advance the clock.
+	// Rates only matter across instants (settling within an instant covers
+	// zero elapsed time), so the batched allocation — the exact max-min for
+	// the instant's final flow set — schedules the same completions as
+	// per-mutation recomputation, at a fraction of the cost.
+	pendSeeds []*Link
+	pendFlows []*Flow // flows started this instant (pending flag set)
+
 	// Reusable scratch for rebalance.
 	compFlows []*Flow
 	compLinks []*Link
 	compDepth []int
-	boundary  []*Flow
+	actLinks  []*Link
+	arena     []*Flow // per-link interior-flow segments (Link.off/end)
 }
 
 // New creates an empty network bound to the engine.
 func New(e *sim.Engine) *Network {
-	return &Network{eng: e}
+	n := &Network{eng: e}
+	e.AddFlusher(n.flushPending)
+	return n
+}
+
+// dirty queues seed links for the end-of-instant water-fill.
+func (n *Network) dirty(seeds []*Link) {
+	n.pendSeeds = append(n.pendSeeds, seeds...)
+	n.eng.RequestFlush()
+}
+
+// flushPending materializes all rate changes queued during the current
+// instant with one water-fill over the union of the queued seeds. Invoked by
+// the engine before the clock advances, and by accessors that need current
+// rates mid-instant. No-op when nothing is queued.
+func (n *Network) flushPending() {
+	if len(n.pendSeeds) == 0 {
+		return
+	}
+	for _, f := range n.pendFlows {
+		f.pending = false
+	}
+	n.pendFlows = n.pendFlows[:0]
+	seeds := n.pendSeeds
+	n.rebalance(seeds)
+	n.pendSeeds = seeds[:0]
 }
 
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return n.active }
+
+// Mutations returns a counter incremented every time a link capacity
+// actually changes (SetCapacity, and through it Degrade/Fail/Restore).
+// Higher layers use it to memoize topology-health-dependent decisions: if
+// Mutations is unchanged, every link's capacity and down flag is unchanged.
+func (n *Network) Mutations() uint64 { return n.mutations }
+
+// link/unlink maintain the intrusive active-flow list.
+func (n *Network) link(f *Flow) {
+	f.next = n.head
+	if n.head != nil {
+		n.head.prev = f
+	}
+	n.head = f
+}
+
+func (n *Network) unlink(f *Flow) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		n.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
 
 // StartFlow begins transferring bytes over path and returns the flow. The
 // flow's Done signal fires when it completes. A zero-byte flow completes at
@@ -149,17 +244,21 @@ func (n *Network) StartFlow(name string, path []*Link, bytes float64) *Flow {
 		total:      bytes,
 		remaining:  bytes,
 		lastUpdate: n.eng.Now(),
-		done:       sim.NewSignal(n.eng, "flow:"+name),
+		done:       sim.NewSignal(n.eng, name),
 	}
 	if bytes == 0 {
 		f.done.Fire()
 		return f
 	}
+	f.net = n
+	f.pending = true
 	n.active++
+	n.link(f)
 	for _, l := range f.path {
 		l.flows = append(l.flows, f)
 	}
-	n.rebalance(f.path)
+	n.pendFlows = append(n.pendFlows, f)
+	n.dirty(f.path)
 	return f
 }
 
@@ -172,12 +271,13 @@ func (n *Network) finish(f *Flow) {
 		panic(fmt.Sprintf("flownet: flow %s completed with %g bytes remaining", f.name, f.remaining))
 	}
 	n.active--
+	n.unlink(f)
 	for _, l := range f.path {
 		l.removeFlow(f)
 	}
 	f.completion = nil
 	f.done.Fire()
-	n.rebalance(f.path)
+	n.dirty(f.path)
 }
 
 // FailFraction is the residual capacity fraction of a failed link: the link
@@ -198,7 +298,9 @@ func (n *Network) SetCapacity(l *Link, capacity float64) {
 		return
 	}
 	l.Capacity = capacity
-	n.rebalance([]*Link{l})
+	n.mutations++
+	n.pendSeeds = append(n.pendSeeds, l)
+	n.eng.RequestFlush()
 }
 
 // DegradeLink sets a link to factor × its healthy capacity (factor in (0,1]
@@ -213,7 +315,10 @@ func (n *Network) DegradeLink(l *Link, factor float64) {
 // FailLink marks a link down and collapses its capacity to the residual
 // trickle. Idempotent.
 func (n *Network) FailLink(l *Link) {
-	l.down = true
+	if !l.down {
+		l.down = true
+		n.mutations++
+	}
 	cap := l.base * FailFraction
 	if cap < 1 {
 		cap = 1
@@ -224,7 +329,10 @@ func (n *Network) FailLink(l *Link) {
 // RestoreLink clears the failed mark and restores the healthy capacity,
 // re-waterfilling any flows that were crawling across the outage. Idempotent.
 func (n *Network) RestoreLink(l *Link) {
-	l.down = false
+	if l.down {
+		l.down = false
+		n.mutations++
+	}
 	n.SetCapacity(l, l.base)
 }
 
@@ -233,18 +341,37 @@ func (n *Network) RestoreLink(l *Link) {
 // remaining flows. Aborting a completed (or zero-byte) flow is a no-op.
 // Callers that retry a transfer start a fresh flow.
 func (n *Network) Abort(f *Flow) {
+	if f.pending {
+		// Started earlier this instant; no rate was ever allocated. Remove
+		// it before the batched water-fill sees it.
+		f.pending = false
+		for i, g := range n.pendFlows {
+			if g == f {
+				n.pendFlows[i] = n.pendFlows[len(n.pendFlows)-1]
+				n.pendFlows = n.pendFlows[:len(n.pendFlows)-1]
+				break
+			}
+		}
+		n.active--
+		n.unlink(f)
+		for _, l := range f.path {
+			l.removeFlow(f) // rate is still 0: rateSum unchanged
+		}
+		return
+	}
 	if f.completion == nil {
 		return
 	}
 	f.settle(n.eng.Now())
 	f.completion.Cancel()
 	f.completion = nil
-	f.rate = 0
 	n.active--
+	n.unlink(f)
 	for _, l := range f.path {
-		l.removeFlow(f)
+		l.removeFlow(f) // subtracts f.rate from each link's rateSum
 	}
-	n.rebalance(f.path)
+	f.rate = 0
+	n.dirty(f.path)
 }
 
 // settle accounts bytes moved at the current rate since the last update.
@@ -261,21 +388,32 @@ func (f *Flow) settle(now sim.Time) {
 // completion events of flows whose rate changed. Flows sharing no link
 // (transitively) with the seed are untouched: by the uniqueness of the
 // max-min allocation their rates cannot have changed.
+//
+// The recomputation is incremental in two ways. First, only links within
+// MaxHops of the seed are re-waterfilled; a link first reached at the
+// horizon keeps its boundary traffic frozen, and that frozen load is
+// derived in O(1) from the link's incrementally maintained rate sum
+// instead of enumerating its flows (a horizon NIC or host-memory link can
+// carry thousands). Second, flows whose allocated rate is unchanged keep
+// their scheduled completion event, and flows whose rate did change reuse
+// the same event object via Engine.Reschedule rather than allocating a
+// fresh one.
 func (n *Network) rebalance(seed []*Link) {
 	n.epoch++
 	epoch := n.epoch
 
 	// Component discovery (breadth-first over the link-flow bipartite
-	// graph) into reusable scratch slices. With MaxHops set, flows first
-	// reached at the horizon become boundary flows: their rates are frozen
-	// and subtracted from the capacities of the links they cross.
+	// graph) into reusable scratch slices. Links first reached at the
+	// horizon (depth == MaxHops) are constraint-only: their interior flows
+	// participate in the waterfill but their other flows stay frozen.
 	flows := n.compFlows[:0]
 	links := n.compLinks[:0]
 	depth := n.compDepth[:0]
-	bound := n.boundary[:0]
 	for _, l := range seed {
 		if l.visit != epoch {
 			l.visit = epoch
+			l.interior = 0
+			l.unassigned = 0
 			links = append(links, l)
 			depth = append(depth, 0)
 		}
@@ -283,14 +421,11 @@ func (n *Network) rebalance(seed []*Link) {
 	for cursor := 0; cursor < len(links); cursor++ {
 		l := links[cursor]
 		d := depth[cursor]
-		atHorizon := n.MaxHops > 0 && d >= n.MaxHops
+		if n.MaxHops > 0 && d >= n.MaxHops {
+			continue // horizon link: flows not enumerated
+		}
 		for _, f := range l.flows {
-			if f.visit == epoch || f.bvisit == epoch {
-				continue
-			}
-			if atHorizon {
-				f.bvisit = epoch
-				bound = append(bound, f)
+			if f.visit == epoch {
 				continue
 			}
 			f.visit = epoch
@@ -298,16 +433,54 @@ func (n *Network) rebalance(seed []*Link) {
 			for _, fl := range f.path {
 				if fl.visit != epoch {
 					fl.visit = epoch
+					fl.interior = 0
+					fl.unassigned = 0
 					links = append(links, fl)
 					depth = append(depth, d+1)
 				}
 			}
 		}
 	}
-	n.compFlows, n.compLinks, n.compDepth, n.boundary = flows, links, depth, bound
+	n.compFlows, n.compLinks, n.compDepth = flows, links, depth
 	if len(flows) == 0 {
 		return
 	}
+
+	// Accumulate each link's interior load (rates about to be replaced)
+	// before settling so horizon links can subtract exactly the boundary
+	// remainder: residual = Capacity - (rateSum - interior). The unassigned
+	// count is the interior-flow count: for non-horizon links every flow is
+	// interior (discovery enumerated them all), for horizon links the
+	// boundary flows stay frozen and must not be touched.
+	for _, f := range flows {
+		for _, l := range f.path {
+			l.interior += f.rate
+			l.unassigned++
+		}
+	}
+
+	// Pack each link's interior flows into contiguous arena segments so the
+	// water-filling freeze pass never scans a horizon link's (possibly
+	// thousands of) frozen boundary flows.
+	total := 0
+	for _, l := range links {
+		l.off = total
+		l.end = total
+		total += l.unassigned
+	}
+	arena := n.arena
+	if cap(arena) < total {
+		arena = make([]*Flow, total)
+	} else {
+		arena = arena[:total]
+	}
+	for _, f := range flows {
+		for _, l := range f.path {
+			arena[l.end] = f
+			l.end++
+		}
+	}
+	n.arena = arena
 
 	now := n.eng.Now()
 	for _, f := range flows {
@@ -315,29 +488,31 @@ func (n *Network) rebalance(seed []*Link) {
 	}
 
 	// Water-filling: repeatedly freeze the most-constrained link's flows at
-	// that link's equal share.
-	for _, l := range links {
-		l.residual = l.Capacity
-		l.unassigned = len(l.flows)
-	}
-	for _, f := range bound {
-		for _, l := range f.path {
-			if l.visit != epoch {
-				continue
-			}
-			l.residual -= f.rate
+	// that link's equal share. Only links with interior flows can constrain
+	// the allocation; act holds them and is compacted as links saturate.
+	act := n.actLinks[:0]
+	for i, l := range links {
+		if n.MaxHops > 0 && depth[i] >= n.MaxHops {
+			// Horizon link: boundary flows keep their frozen rates; the
+			// interior flows compete for whatever they leave.
+			l.residual = l.Capacity - (l.rateSum - l.interior)
 			if l.residual < 0 {
 				l.residual = 0
 			}
-			l.unassigned--
+		} else {
+			l.residual = l.Capacity
+		}
+		if l.unassigned > 0 {
+			act = append(act, l)
 		}
 	}
+	n.actLinks = act
 	remaining := len(flows)
 	for remaining > 0 {
 		share := math.Inf(1)
-		for _, l := range links {
+		for _, l := range act {
 			if l.unassigned == 0 {
-				continue
+				continue // drained by a later link in the previous round
 			}
 			if s := l.residual / float64(l.unassigned); s < share {
 				share = s
@@ -356,16 +531,18 @@ func (n *Network) rebalance(seed []*Link) {
 		// round keeps rebalancing near-linear. Each candidate re-checks its
 		// share because freezing an earlier link may have changed it.
 		froze := false
-		for _, l := range links {
+		live := act[:0]
+		for _, l := range act {
 			if l.unassigned == 0 {
 				continue
 			}
 			if l.residual/float64(l.unassigned) > share*(1+1e-12) {
+				live = append(live, l)
 				continue
 			}
-			for _, f := range l.flows {
-				if f.assigned == epoch || f.visit != epoch {
-					continue // already frozen this round, or boundary flow
+			for _, f := range arena[l.off:l.end] {
+				if f.assigned == epoch {
+					continue // already frozen this round
 				}
 				f.assigned = epoch
 				remaining--
@@ -379,15 +556,21 @@ func (n *Network) rebalance(seed []*Link) {
 				}
 				n.applyRate(f, share)
 			}
+			if l.unassigned > 0 {
+				live = append(live, l)
+			}
 		}
 		if !froze {
 			panic("flownet: water-filling made no progress")
 		}
+		act = live
 	}
 }
 
-// applyRate installs a flow's new rate and reschedules its completion,
-// skipping the churn when the rate is unchanged.
+// applyRate installs a flow's new rate, updates the rate sums of the links
+// it crosses, and reschedules its completion — reusing the existing
+// completion event (and its closure) when one is scheduled, and skipping
+// all churn when the rate is unchanged.
 func (n *Network) applyRate(f *Flow, rate float64) {
 	if rate <= 0 {
 		// Should not happen: every flow is on at least one link with
@@ -397,12 +580,21 @@ func (n *Network) applyRate(f *Flow, rate float64) {
 	if rate == f.rate && f.completion != nil && !f.completion.Cancelled() {
 		return
 	}
-	f.rate = rate
-	if f.completion != nil {
-		f.completion.Cancel()
+	if rate != f.rate {
+		for _, l := range f.path {
+			l.rateSum += rate - f.rate
+			if l.rateSum < 0 {
+				l.rateSum = 0
+			}
+		}
+		f.rate = rate
 	}
 	eta := f.remaining / f.rate
-	f.completion = n.eng.After(eta, func() { n.finish(f) })
+	if f.completion != nil {
+		n.eng.Reschedule(f.completion, eta)
+	} else {
+		f.completion = n.eng.After(eta, func() { n.finish(f) })
+	}
 }
 
 // Transfer is a convenience for process code: start a flow and park until it

@@ -236,6 +236,9 @@ func TestMaxMinInvariantsProperty(t *testing.T) {
 			}
 			flows[i] = n.StartFlow("f", path, 1e12)
 		}
+		// Materialize the instant's batched allocation before peeking at
+		// internal rate fields (Flow.Rate would do this implicitly).
+		n.flushPending()
 		// Invariant 1: per-link sum of rates <= capacity.
 		for _, l := range links {
 			var sum float64

@@ -1,0 +1,95 @@
+package flownet
+
+import "math"
+
+// OracleRates computes the max-min fair allocation for every active flow from
+// scratch, ignoring every incremental shortcut the production path uses: no
+// component discovery (all flows participate), no horizon (MaxHops is not
+// consulted), no incrementally maintained rate sums, and map-based scratch
+// instead of epoch-stamped fields. It exists purely as a reference oracle for
+// differential testing: with MaxHops == 0 the incremental rebalance must
+// produce the same rates to within floating-point noise.
+//
+// Pending same-instant mutations are materialized first, so the returned
+// rates correspond to what Flow.Rate reports at the same point.
+func (n *Network) OracleRates() map[*Flow]float64 {
+	n.flushPending()
+
+	var flows []*Flow
+	residual := make(map[*Link]float64)
+	count := make(map[*Link]int)
+	for f := n.head; f != nil; f = f.next {
+		flows = append(flows, f)
+		for _, l := range f.path {
+			if _, ok := residual[l]; !ok {
+				residual[l] = l.Capacity
+			}
+			count[l]++
+		}
+	}
+
+	rates := make(map[*Flow]float64, len(flows))
+	remaining := len(flows)
+	for remaining > 0 {
+		// Bottleneck share: the smallest equal split any link can offer its
+		// unassigned flows.
+		share := math.Inf(1)
+		for l, c := range count {
+			if c > 0 {
+				if s := residual[l] / float64(c); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("flownet: oracle: unassigned flows but no constraining link")
+		}
+		// The production waterfill floors shares at 1 B/s so saturated links
+		// keep their flows terminating; mirror it.
+		if share < 1 {
+			share = 1
+		}
+		progress := false
+		for _, f := range flows {
+			if _, done := rates[f]; done {
+				continue
+			}
+			bottlenecked := false
+			for _, l := range f.path {
+				if residual[l]/float64(count[l]) <= share*(1+1e-12) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			rates[f] = share
+			remaining--
+			progress = true
+			for _, l := range f.path {
+				residual[l] -= share
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+				count[l]--
+			}
+		}
+		if !progress {
+			panic("flownet: oracle: water-filling made no progress")
+		}
+	}
+	return rates
+}
+
+// ActiveFlowList returns the currently active flows (pending same-instant
+// arrivals materialized first). Test helper: lets differential tests walk the
+// same flow set the oracle allocated.
+func (n *Network) ActiveFlowList() []*Flow {
+	n.flushPending()
+	var flows []*Flow
+	for f := n.head; f != nil; f = f.next {
+		flows = append(flows, f)
+	}
+	return flows
+}

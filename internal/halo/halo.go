@@ -12,6 +12,8 @@ package halo
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"github.com/nodeaware/stencil/internal/part"
 )
@@ -221,22 +223,50 @@ func (d *Domain) SelfExchange(dir part.Dim3) int64 {
 		panic("halo: self-exchange region mismatch")
 	}
 	// Gather rows pairwise: both regions have identical per-axis extents.
+	// Row offsets are identical across quantities, so compute them once, in
+	// pooled scratch — SelfExchange runs on every KERNEL-method exchange
+	// (possibly on parallel payload workers, hence sync.Pool, not a field).
+	sc := offsetsPool.Get().(*offsetsScratch)
+	sc.src = appendRowOffsets(sc.src[:0], d, src)
+	sc.dst = appendRowOffsets(sc.dst[:0], d, dst)
+	rowBytes := (src.Hi.X - src.Lo.X) * d.ElemSize
 	for q := 0; q < d.Quantities; q++ {
 		buf := d.data[q]
-		srcOffs := d.rowOffsets(src)
-		dstOffs := d.rowOffsets(dst)
-		rowBytes := (src.Hi.X - src.Lo.X) * d.ElemSize
-		for i := range srcOffs {
-			copy(buf[dstOffs[i]:dstOffs[i]+rowBytes], buf[srcOffs[i]:srcOffs[i]+rowBytes])
+		for i := range sc.src {
+			copy(buf[sc.dst[i]:sc.dst[i]+rowBytes], buf[sc.src[i]:sc.src[i]+rowBytes])
 		}
 	}
+	offsetsPool.Put(sc)
 	return total
 }
 
-func (d *Domain) rowOffsets(reg Region) []int {
-	var offs []int
+// offsetsScratch holds reusable row-offset slices for SelfExchange.
+type offsetsScratch struct{ src, dst []int }
+
+var offsetsPool = sync.Pool{New: func() any { return new(offsetsScratch) }}
+
+func appendRowOffsets(offs []int, d *Domain, reg Region) []int {
 	d.forEachRow(reg, func(off, _ int) { offs = append(offs, off) })
 	return offs
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash over the domain's complete backing
+// store (all quantities, interior and halo). Two domains that went through
+// byte-identical histories hash equal; the determinism regression test
+// compares sequential and parallel runs with it. Time-only domains hash their
+// geometry alone.
+func (d *Domain) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var dims [6]byte
+	for i, v := range []int{d.Size.X, d.Size.Y, d.Size.Z} {
+		dims[2*i] = byte(v)
+		dims[2*i+1] = byte(v >> 8)
+	}
+	h.Write(dims[:])
+	for _, q := range d.data {
+		h.Write(q)
+	}
+	return h.Sum64()
 }
 
 // MaxHaloBytes returns the largest single-direction message size across the

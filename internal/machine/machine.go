@@ -135,6 +135,15 @@ type Node struct {
 	hostMem []*flownet.Link
 	// NIC, per direction.
 	nicOut, nicIn *flownet.Link
+
+	// Memoized intra-node copy paths, built once in buildNode: the link
+	// topology is immutable after construction (faults only change link
+	// state, not identity), and the exchange layers request these paths on
+	// every transfer. Each cached slice is capacity-clamped so a caller
+	// appending to it copies instead of clobbering the cache.
+	d2d [][]*flownet.Link // [src*gpus+dst]
+	d2h [][]*flownet.Link // [gpu*sockets+socket]
+	h2d [][]*flownet.Link // [socket*gpus+gpu]
 }
 
 // Socket returns the socket a local GPU belongs to.
@@ -153,6 +162,12 @@ type Machine struct {
 	// fabric is a pair of links modelling the (full-bisection) switch; it
 	// exists so cross-fabric flows have a nonempty path even between NICs.
 	fabricLatency sim.Time
+
+	// Memoized inter-node paths, filled on first use (only endpoint pairs
+	// that actually communicate pay an entry). Same read-only contract as
+	// the Node caches.
+	h2hCache map[[4]int][]*flownet.Link
+	remCache map[[4]int][]*flownet.Link
 }
 
 // New builds a cluster of identical nodes.
@@ -168,6 +183,8 @@ func New(eng *sim.Engine, nodes int, cfg NodeConfig, p Params) *Machine {
 		Net:           flownet.New(eng),
 		Params:        p,
 		fabricLatency: p.MPIInterLatency,
+		h2hCache:      make(map[[4]int][]*flownet.Link),
+		remCache:      make(map[[4]int][]*flownet.Link),
 	}
 	for id := 0; id < nodes; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id, cfg))
@@ -211,7 +228,30 @@ func (m *Machine) buildNode(id int, cfg NodeConfig) *Node {
 	}
 	n.nicOut = flownet.NewLink(fmt.Sprintf("n%d.nic.out", id), p.NICBW)
 	n.nicIn = flownet.NewLink(fmt.Sprintf("n%d.nic.in", id), p.NICBW)
+	n.buildPathCache()
 	return n
+}
+
+// buildPathCache memoizes every intra-node copy path. clamp caps each slice
+// at its length so callers that append (MPI's shm transport) copy rather than
+// write into the cache.
+func (n *Node) buildPathCache() {
+	clamp := func(p []*flownet.Link) []*flownet.Link { return p[:len(p):len(p)] }
+	gpus, sockets := n.Config.GPUs(), n.Config.Sockets
+	n.d2d = make([][]*flownet.Link, gpus*gpus)
+	for s := 0; s < gpus; s++ {
+		for d := 0; d < gpus; d++ {
+			n.d2d[s*gpus+d] = clamp(n.buildDevToDev(s, d))
+		}
+	}
+	n.d2h = make([][]*flownet.Link, gpus*sockets)
+	n.h2d = make([][]*flownet.Link, sockets*gpus)
+	for g := 0; g < gpus; g++ {
+		for s := 0; s < sockets; s++ {
+			n.d2h[g*sockets+s] = clamp(n.buildDevToHost(g, s))
+			n.h2d[s*gpus+g] = clamp(n.buildHostToDev(s, g))
+		}
+	}
 }
 
 // FabricLatency is the per-message latency across the inter-node fabric.
@@ -277,6 +317,10 @@ func (n *Node) IntraLinks() []*flownet.Link {
 // different sockets route GPU→socket→X-Bus→socket→GPU. A same-GPU copy uses
 // the device-local engine.
 func (n *Node) DevToDevPath(src, dst int) []*flownet.Link {
+	return n.d2d[src*n.Config.GPUs()+dst]
+}
+
+func (n *Node) buildDevToDev(src, dst int) []*flownet.Link {
 	if src == dst {
 		return []*flownet.Link{n.devLocal[src]}
 	}
@@ -290,6 +334,10 @@ func (n *Node) DevToDevPath(src, dst int) []*flownet.Link {
 // DevToHostPath returns the flow path for a device-to-pinned-host copy. The
 // host buffer lives on the socket owning the GPU's controlling process.
 func (n *Node) DevToHostPath(gpu, socket int) []*flownet.Link {
+	return n.d2h[gpu*n.Config.Sockets+socket]
+}
+
+func (n *Node) buildDevToHost(gpu, socket int) []*flownet.Link {
 	path := []*flownet.Link{n.gpuUp[gpu]}
 	if n.Socket(gpu) != socket {
 		path = append(path, n.xbus[[2]int{n.Socket(gpu), socket}])
@@ -299,6 +347,10 @@ func (n *Node) DevToHostPath(gpu, socket int) []*flownet.Link {
 
 // HostToDevPath is the reverse of DevToHostPath.
 func (n *Node) HostToDevPath(socket, gpu int) []*flownet.Link {
+	return n.h2d[socket*n.Config.GPUs()+gpu]
+}
+
+func (n *Node) buildHostToDev(socket, gpu int) []*flownet.Link {
 	path := []*flownet.Link{n.hostMem[socket]}
 	if n.Socket(gpu) != socket {
 		path = append(path, n.xbus[[2]int{socket, n.Socket(gpu)}])
@@ -309,21 +361,29 @@ func (n *Node) HostToDevPath(socket, gpu int) []*flownet.Link {
 // HostToHostPath returns the path for a host-side copy between two sockets of
 // possibly different nodes (MPI's transport).
 func (m *Machine) HostToHostPath(srcNode, srcSocket, dstNode, dstSocket int) []*flownet.Link {
+	key := [4]int{srcNode, srcSocket, dstNode, dstSocket}
+	if p, ok := m.h2hCache[key]; ok {
+		return p
+	}
 	sn, dn := m.Nodes[srcNode], m.Nodes[dstNode]
-	if srcNode == dstNode {
-		if srcSocket == dstSocket {
-			return []*flownet.Link{sn.hostMem[srcSocket]}
-		}
-		return []*flownet.Link{
+	var p []*flownet.Link
+	switch {
+	case srcNode == dstNode && srcSocket == dstSocket:
+		p = []*flownet.Link{sn.hostMem[srcSocket]}
+	case srcNode == dstNode:
+		p = []*flownet.Link{
 			sn.hostMem[srcSocket],
 			sn.xbus[[2]int{srcSocket, dstSocket}],
 			sn.hostMem[dstSocket],
 		}
+	default:
+		p = []*flownet.Link{
+			sn.hostMem[srcSocket], sn.nicOut,
+			dn.nicIn, dn.hostMem[dstSocket],
+		}
 	}
-	return []*flownet.Link{
-		sn.hostMem[srcSocket], sn.nicOut,
-		dn.nicIn, dn.hostMem[dstSocket],
-	}
+	m.h2hCache[key] = p
+	return p
 }
 
 // DevToDevRemotePath returns the GPUDirect-RDMA path between GPUs on
@@ -333,10 +393,16 @@ func (m *Machine) DevToDevRemotePath(srcNode, srcGPU, dstNode, dstGPU int) []*fl
 	if srcNode == dstNode {
 		return sn.DevToDevPath(srcGPU, dstGPU)
 	}
-	return []*flownet.Link{
+	key := [4]int{srcNode, srcGPU, dstNode, dstGPU}
+	if p, ok := m.remCache[key]; ok {
+		return p
+	}
+	p := []*flownet.Link{
 		sn.gpuUp[srcGPU], sn.nicOut,
 		dn.nicIn, dn.gpuDown[dstGPU],
 	}
+	m.remCache[key] = p
+	return p
 }
 
 // TheoreticalBW reports the vendor-datasheet bandwidth class between two

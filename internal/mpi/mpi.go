@@ -289,7 +289,10 @@ func (w *World) hostTransfer(send, recv *Request) {
 		}
 		pr.Sleep(lat)
 		path := w.M.HostToHostPath(srcRank.Node, srcRank.Socket, dstRank.Node, dstRank.Socket)
+		start := pr.Now()
+		name := "mpi.nic"
 		if intra {
+			name = "mpi.shm"
 			// Shared-memory copy: occupies the receiving rank's progress
 			// engine for the duration of the copy, at the rate of one core's
 			// copy loop.
@@ -303,6 +306,14 @@ func (w *World) hostTransfer(send, recv *Request) {
 			w.transferRetry(pr, "mpi.nic", path, float64(send.bytes))
 		}
 		commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
+		if w.RT != nil && w.RT.OnOp != nil {
+			// Host-side staging copies are CPU work a profiler would
+			// attribute to MPI; surface them in the op timeline too.
+			w.RT.Record(cudart.OpRecord{
+				Kind: cudart.OpMemcpyH2H, Name: name, Device: -1,
+				Stream: "host", Start: start, End: pr.Now(), Bytes: send.bytes,
+			})
+		}
 		send.done.Fire()
 		recv.done.Fire()
 	})
@@ -349,7 +360,12 @@ func (w *World) cudaAwareTransfer(send, recv *Request) {
 		copyDone := sdev.DefaultStream().Enqueue(func(done *sim.Signal) {
 			eng.After(issue, func() {
 				w.startFlowRetry("mpi.ca", path, float64(send.bytes), func() {
-					commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
+					// Pure payload: run the byte copy on the deferred
+					// executor under both devices' keys; the completion
+					// signal stays in event context.
+					eng.Defer(func() {
+						commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
+					}, int32(sdev.ID), int32(ddev.ID))
 					done.Fire()
 				})
 			})

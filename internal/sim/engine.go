@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -42,7 +41,7 @@ type Event struct {
 func (ev *Event) Cancel() {
 	ev.cancelled = true
 	if ev.index >= 0 && ev.eng != nil {
-		heap.Remove(&ev.eng.queue, ev.index)
+		ev.eng.queue.remove(ev.index)
 	}
 }
 
@@ -52,33 +51,111 @@ func (ev *Event) Cancelled() bool { return ev.cancelled }
 // When returns the virtual time the event is scheduled for.
 func (ev *Event) When() Time { return ev.when }
 
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (when, seq). The
+// standard container/heap pays an interface call per comparison and the event
+// queue is the hottest data structure in the simulator, so it gets a
+// dedicated implementation. (when, seq) is a strict total order — seq is
+// unique — so the pop sequence, and therefore every simulation result, is
+// independent of heap arity and sift details.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before reports whether a must fire before b.
+func before(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h[parent]
+		if !before(ev, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if before(h[c], h[best]) {
+				best = c
+			}
+		}
+		b := h[best]
+		if !before(b, ev) {
+			break
+		}
+		h[i] = b
+		b.index = i
+		i = best
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+func (h *eventHeap) push(ev *Event) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
+	h.siftUp(ev.index)
 }
-func (h *eventHeap) Pop() any {
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() *Event {
 	old := *h
 	n := len(old)
-	ev := old[n-1]
+	ev := old[0]
+	last := old[n-1]
 	old[n-1] = nil
-	ev.index = -1
 	*h = old[:n-1]
+	ev.index = -1
+	if n > 1 {
+		old[0] = last
+		last.index = 0
+		(*h).siftDown(0)
+	}
 	return ev
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old)
+	ev := old[i]
+	last := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.index = -1
+	if i < n-1 {
+		old[i] = last
+		last.index = i
+		h.fix(i)
+	}
+}
+
+// fix restores heap order after the event at index i changed its key.
+func (h eventHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
 }
 
 // Engine owns the virtual clock, the pending-event queue, and the set of
@@ -93,6 +170,16 @@ type Engine struct {
 	running  bool
 	nprocs   int // live (spawned, not yet exited) processes
 	trace    func(t Time, msg string)
+
+	// Flushers run after all work at the current instant has drained, just
+	// before the clock advances (or Run returns). Subsystems that batch
+	// same-instant work (the flow network coalesces rate recomputations,
+	// the parallel executor drains deferred payload ops) register once and
+	// arm each round with RequestFlush.
+	flushers  []func()
+	needFlush bool
+
+	par parExec // deferred-payload executor (see parallel.go)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -115,6 +202,30 @@ func (e *Engine) Tracef(format string, args ...any) {
 	}
 }
 
+// AddFlusher registers fn to run at the end of every virtual instant that
+// requested a flush (RequestFlush): after all events and processes at the
+// current time have drained, before the clock advances or Run returns.
+// Flushers run in registration order and may schedule new events, wake
+// processes, or re-arm the flush; the engine re-drains the instant after
+// they run. Flushers must tolerate being invoked with nothing to do.
+func (e *Engine) AddFlusher(fn func()) { e.flushers = append(e.flushers, fn) }
+
+// RequestFlush arms the end-of-instant flush. Cheap and idempotent.
+func (e *Engine) RequestFlush() { e.needFlush = true }
+
+// runFlushers drains end-of-instant work. Returns true if flushers ran (the
+// caller must then re-drain the instant).
+func (e *Engine) runFlushers() bool {
+	if !e.needFlush {
+		return false
+	}
+	e.needFlush = false
+	for _, fn := range e.flushers {
+		fn()
+	}
+	return true
+}
+
 // At schedules fn to run at virtual time t. Scheduling in the past (t < Now)
 // panics: it would silently corrupt causality.
 func (e *Engine) At(t Time, fn func()) *Event {
@@ -123,7 +234,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	e.seq++
 	ev := &Event{when: t, seq: e.seq, fn: fn, eng: e}
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -133,6 +244,30 @@ func (e *Engine) After(d Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Reschedule moves an existing event to fire d seconds from now, reusing the
+// event object and its callback closure. It is the allocation-free equivalent
+// of Cancel + After(d, same fn): heavy reschedulers (the flow network moves
+// every completion event whenever rates shift) would otherwise churn an Event
+// and a closure per adjustment. A cancelled event is revived. Negative d
+// panics, mirroring After.
+func (e *Engine) Reschedule(ev *Event, d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	if ev.eng != e {
+		panic("sim: Reschedule on foreign event")
+	}
+	e.seq++
+	ev.when = e.now + d
+	ev.seq = e.seq
+	ev.cancelled = false
+	if ev.index >= 0 {
+		e.queue.fix(ev.index)
+	} else {
+		e.queue.push(ev)
+	}
 }
 
 // Run drives the simulation until no runnable processes remain and the event
@@ -155,10 +290,17 @@ func (e *Engine) Run() Time {
 			p.resume <- struct{}{}
 			<-e.parked // p has parked again or exited
 		}
+		// The instant is drained when no event remains at the current time;
+		// give flushers a chance before advancing the clock or exiting.
+		if len(e.queue) == 0 || e.queue[0].when > e.now {
+			if e.runFlushers() {
+				continue // re-drain: flushers may have added work
+			}
+		}
 		if len(e.queue) == 0 {
 			break
 		}
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.queue.pop()
 		if ev.cancelled {
 			continue
 		}
@@ -190,6 +332,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	exited bool
+	// sleepEv is the proc's reusable wakeup event: a proc has at most one
+	// outstanding Sleep (it is parked until the event fires), so the event
+	// and its closure are allocated once per proc instead of once per Sleep.
+	sleepEv *Event
 }
 
 // Spawn creates a process executing fn and marks it runnable. fn starts
@@ -231,7 +377,10 @@ func (p *Proc) Sleep(d Time) {
 		panic(fmt.Sprintf("sim: negative sleep %g in %s", d, p.name))
 	}
 	e := p.eng
-	e.After(d, func() { e.makeRunnable(p) })
+	if p.sleepEv == nil {
+		p.sleepEv = &Event{eng: e, index: -1, fn: func() { e.makeRunnable(p) }}
+	}
+	e.Reschedule(p.sleepEv, d)
 	p.park()
 }
 

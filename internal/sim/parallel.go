@@ -1,0 +1,195 @@
+package sim
+
+import "sync"
+
+// Parallel payload execution.
+//
+// The discrete-event engine is strictly sequential: exactly one event or
+// process runs at a time, which is what makes simulations deterministic. The
+// expensive part of a real-data simulation, however, is not the scheduling —
+// it is the payload work attached to op completions: halo pack/unpack kernels
+// and buffer byte copies. Those closures only touch the data of the devices
+// they name and never inspect the virtual clock, so they can run on worker
+// goroutines while the engine is otherwise idle, provided
+//
+//   - ops touching a common device execute in their original (sequence)
+//     order relative to each other, and
+//   - every deferred op completes before any simulation code that could
+//     observe its data runs.
+//
+// Engine.Defer queues a payload closure under one or two int32 keys (device
+// ids; by convention the key of a host-side buffer is the device that moves
+// its bytes). At the end of the instant — before the virtual clock advances,
+// via the engine's flusher mechanism — the queued ops are partitioned into
+// connected components by union-find over their keys and each component is
+// executed, in op-sequence order, on a pool of worker goroutines. The engine
+// blocks until all components finish, so workers never overlap event or
+// process execution. Cross-instant readers are safe by construction: a flow
+// completion or MPI delivery that consumes the data always fires at a
+// strictly later virtual time, after the flush.
+//
+// Components are disjoint in keys and therefore in the data they touch, so
+// the bytes produced are identical to sequential execution regardless of
+// which worker runs which component — determinism is preserved bit for bit.
+
+// deferredOp is one queued payload closure and the keys it touches.
+type deferredOp struct {
+	fn     func()
+	k1, k2 int32
+}
+
+// parExec is the engine's deferred-payload executor state.
+type parExec struct {
+	workers    int
+	registered bool
+	ops        []deferredOp
+
+	// Union-find scratch, indexed by key (device id). Rebuilt per flush;
+	// epoch stamps avoid clearing.
+	parent []int32
+	stamp  []uint64
+	epoch  uint64
+
+	// Component assembly scratch.
+	order []int32 // distinct roots in first-appearance order
+	heads map[int32][]int
+}
+
+// SetWorkers sets the number of goroutines used to execute deferred payload
+// ops. n <= 1 disables deferral: Defer runs its closure immediately, exactly
+// as the sequential engine always has. Safe to call only before Run.
+func (e *Engine) SetWorkers(n int) {
+	if e.running {
+		panic("sim: SetWorkers while running")
+	}
+	e.par.workers = n
+	if n > 1 && !e.par.registered {
+		e.par.registered = true
+		e.AddFlusher(e.flushDeferred)
+	}
+}
+
+// Workers returns the configured worker count (0 or 1 means sequential).
+func (e *Engine) Workers() int { return e.par.workers }
+
+// Defer queues fn to run before the current virtual instant ends. fn must be
+// a pure payload: it may only touch data owned by the devices k1 and k2 (use
+// the same key twice for single-device ops) and must not interact with the
+// engine. With workers disabled fn runs immediately.
+func (e *Engine) Defer(fn func(), k1, k2 int32) {
+	if e.par.workers <= 1 {
+		fn()
+		return
+	}
+	e.par.ops = append(e.par.ops, deferredOp{fn: fn, k1: k1, k2: k2})
+	e.needFlush = true
+}
+
+func (x *parExec) find(k int32) int32 {
+	for x.parent[k] != k {
+		x.parent[k] = x.parent[x.parent[k]] // path halving
+		k = x.parent[k]
+	}
+	return k
+}
+
+// touch ensures key k has a union-find slot this epoch.
+func (x *parExec) touch(k int32) {
+	if int(k) >= len(x.parent) {
+		grown := make([]int32, k+1)
+		copy(grown, x.parent)
+		x.parent = grown
+		stamps := make([]uint64, k+1)
+		copy(stamps, x.stamp)
+		x.stamp = stamps
+	}
+	if x.stamp[k] != x.epoch {
+		x.stamp[k] = x.epoch
+		x.parent[k] = k
+	}
+}
+
+// flushDeferred runs all queued payload ops, partitioned by key components,
+// across the worker pool. Runs in engine context with no event or process
+// active; returns only when every op has completed.
+func (e *Engine) flushDeferred() {
+	x := &e.par
+	ops := x.ops
+	if len(ops) == 0 {
+		return
+	}
+	x.ops = x.ops[:0]
+
+	// Tiny batches aren't worth goroutine handoff.
+	if len(ops) < 4 {
+		for i := range ops {
+			ops[i].fn()
+		}
+		return
+	}
+
+	x.epoch++
+	for i := range ops {
+		x.touch(ops[i].k1)
+		x.touch(ops[i].k2)
+		r1, r2 := x.find(ops[i].k1), x.find(ops[i].k2)
+		if r1 != r2 {
+			x.parent[r2] = r1
+		}
+	}
+
+	// Bucket op indices by component root, preserving sequence order within
+	// each component.
+	if x.heads == nil {
+		x.heads = make(map[int32][]int)
+	}
+	order := x.order[:0]
+	for i := range ops {
+		r := x.find(ops[i].k1)
+		seg := x.heads[r]
+		if len(seg) == 0 { // segments are truncated, not deleted, after a flush
+			order = append(order, r)
+		}
+		x.heads[r] = append(seg, i)
+	}
+	x.order = order
+
+	nw := x.workers
+	if nw > len(order) {
+		nw = len(order)
+	}
+	if nw <= 1 {
+		for _, r := range order {
+			for _, i := range x.heads[r] {
+				ops[i].fn()
+			}
+		}
+	} else {
+		// Components are key-disjoint, hence data-disjoint: any assignment
+		// of components to workers yields identical bytes.
+		work := make(chan int32, len(order))
+		for _, r := range order {
+			work <- r
+		}
+		close(work)
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func() {
+				defer wg.Done()
+				for r := range work {
+					for _, i := range x.heads[r] {
+						ops[i].fn()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, r := range order {
+		x.heads[r] = x.heads[r][:0]
+	}
+	for i := range ops {
+		ops[i].fn = nil
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import "testing"
+
+// Ops sharing a key component must run in sequence order; the whole batch
+// must complete before any later-instant event observes the data.
+func TestDeferComponentOrdering(t *testing.T) {
+	e := NewEngine()
+	e.SetWorkers(4)
+	// Three key-disjoint components: {0,1}, {2,3}, {4,5}. Ops within a
+	// component append to that component's log; components never share a
+	// slice, so the appends need no locking — exactly the executor's
+	// contract.
+	logs := make([][]int, 3)
+	e.At(0, func() {
+		for i := 0; i < 48; i++ {
+			comp := i % 3
+			k1 := int32(2 * comp)
+			k2 := k1
+			if i%2 == 0 {
+				k2 = k1 + 1 // exercise the union of both keys
+			}
+			i := i
+			e.Defer(func() { logs[comp] = append(logs[comp], i) }, k1, k2)
+		}
+	})
+	checked := false
+	e.At(1, func() {
+		checked = true
+		total := 0
+		for comp, log := range logs {
+			total += len(log)
+			for j := 1; j < len(log); j++ {
+				if log[j] <= log[j-1] {
+					t.Errorf("component %d ran out of order: %v", comp, log)
+					break
+				}
+			}
+		}
+		if total != 48 {
+			t.Errorf("ran %d ops before the next instant, want 48", total)
+		}
+	})
+	e.Run()
+	if !checked {
+		t.Fatal("verification event never fired")
+	}
+}
+
+// With workers disabled Defer degenerates to an immediate call.
+func TestDeferSequentialImmediate(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Defer(func() { ran = true }, 3, 7)
+	if !ran {
+		t.Fatal("Defer with workers disabled did not run inline")
+	}
+}
+
+// Deferred ops queued across several events of one instant all flush before
+// the clock advances, even when a flush-triggered event defers more work.
+func TestDeferFlushBeforeClockAdvance(t *testing.T) {
+	e := NewEngine()
+	e.SetWorkers(2)
+	var order []string
+	for i := 0; i < 6; i++ {
+		i := i
+		e.At(0, func() {
+			e.Defer(func() { order = append(order, "op") }, int32(i), int32(i))
+		})
+	}
+	e.At(0.5, func() { order = append(order, "later") })
+	e.Run()
+	if len(order) != 7 || order[6] != "later" {
+		t.Fatalf("deferred ops did not flush before the next instant: %v", order)
+	}
+}
+
+func TestSetWorkersWhileRunningPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetWorkers while running did not panic")
+			}
+		}()
+		e.SetWorkers(2)
+	})
+	e.Run()
+}
+
+// Gate: Open before Await is consumed without parking; Await before Open
+// parks until an event opens it; the gate is reusable.
+func TestGateRendezvous(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("owner", func(p *Proc) {
+		g := NewGate(p)
+		g.Open() // pre-opened: Await must not park
+		g.Await()
+		trace = append(trace, "first")
+		e.After(1, func() {
+			trace = append(trace, "open")
+			g.Open()
+		})
+		g.Await() // parks until the event opens it
+		trace = append(trace, "second")
+	})
+	e.Run()
+	want := []string{"first", "open", "second"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}

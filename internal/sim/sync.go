@@ -123,6 +123,44 @@ func (w *anyWaiter) wake(e *Engine) func() {
 	}
 }
 
+// Gate is a reusable rendezvous between one owning process and event-context
+// callbacks: callbacks call Open, the owner calls Await. Unlike the one-shot
+// Signal, a Gate cycles: Await consumes the open state, so a driver loop can
+// park on the same Gate once per wake without allocating. Open is level-
+// triggered and idempotent; spurious Await returns are possible (the owner
+// must re-check its own readiness state) but lost wakeups are not.
+type Gate struct {
+	owner  *Proc
+	open   bool
+	parked bool
+}
+
+// NewGate returns a closed gate owned by p. Only p may Await.
+func NewGate(p *Proc) *Gate { return &Gate{owner: p} }
+
+// Open marks the gate open and wakes the owner if it is parked in Await.
+// Safe to call any number of times from event callbacks.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	if g.parked {
+		g.parked = false
+		g.owner.eng.makeRunnable(g.owner)
+	}
+}
+
+// Await parks the owner until the gate is open (returning immediately if it
+// already is), then closes it.
+func (g *Gate) Await() {
+	if !g.open {
+		g.parked = true
+		g.owner.park()
+	}
+	g.open = false
+}
+
 // Resource is a counting resource with FIFO admission, used to model serially
 // shared facilities such as an MPI progress engine or a copy/DMA engine.
 type Resource struct {

@@ -123,12 +123,15 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(map[string]any{"traceEvents": events})
 }
 
-// Glyphs maps op kinds to ASCII-chart glyphs.
+// Glyphs maps op kinds to ASCII-chart glyphs. Every cudart.OpKind must have
+// an entry (enforced by TestGlyphsCoverAllOpKinds): a '?' in a Gantt chart
+// means a new kind was added without a glyph.
 var Glyphs = map[string]byte{
 	"kernel":    'K',
 	"memcpyD2D": 'P',
 	"memcpyD2H": 'v',
 	"memcpyH2D": '^',
+	"memcpyH2H": '=',
 }
 
 // RenderASCII draws a Gantt chart of the timeline, one row per stream,

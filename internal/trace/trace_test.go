@@ -99,6 +99,18 @@ func TestChromeTraceJSON(t *testing.T) {
 	}
 }
 
+// Every OpKind must render as a real glyph: a '?' in a Gantt chart means a
+// kind was added to cudart without a Glyphs entry (this happened with the
+// host-side staging copies, which rendered as '?' until OpMemcpyH2H got '=').
+func TestGlyphsCoverAllOpKinds(t *testing.T) {
+	for k := cudart.OpKind(0); k < cudart.NumOpKinds; k++ {
+		g, ok := Glyphs[k.String()]
+		if !ok || g == 0 || g == '?' {
+			t.Errorf("OpKind %v has no glyph (got %q)", k, g)
+		}
+	}
+}
+
 func TestRenderASCII(t *testing.T) {
 	tl := New(sampleOps())
 	var buf bytes.Buffer
