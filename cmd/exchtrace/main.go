@@ -4,7 +4,9 @@
 //
 // By default it prints an ASCII Gantt chart of every simulated GPU operation
 // grouped by device and stream, plus overlap statistics. With -chrome FILE
-// it also writes Chrome trace-event JSON for chrome://tracing / Perfetto.
+// it also writes Chrome trace-event JSON for chrome://tracing / Perfetto,
+// including per-link utilization counter tracks sampled by the telemetry
+// layer on every flow-network rebalance.
 package main
 
 import (
@@ -39,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	// Fig 9's setup: one rank controlling two GPUs; the node has one GPU per
 	// socket so both intra- and cross-socket traffic appear.
 	nodeCfg := machine.NodeConfig{Sockets: 2, GPUsPerSocket: 1}
+	tel := stencil.NewTelemetry()
 	cfg := stencil.Config{
 		Nodes:        1,
 		RanksPerNode: *ranks,
@@ -48,6 +51,7 @@ func run(args []string, out io.Writer) error {
 		Capabilities: stencil.CapsAll(),
 		NodeConfig:   &nodeCfg,
 		TraceOps:     true,
+		Telemetry:    tel,
 	}
 	dd, err := stencil.New(cfg)
 	if err != nil {
@@ -84,10 +88,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := tl.WriteChromeTrace(f); err != nil {
+		var tracks []trace.CounterTrack
+		for _, tr := range tel.Tracks() {
+			if !tr.IsLink() {
+				continue
+			}
+			tracks = append(tracks, trace.CounterTrack{Name: tr.Name, Times: tr.Times, Values: tr.Values})
+		}
+		if err := tl.WriteChromeTrace(f, tracks...); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "\nChrome trace written to %s (open in chrome://tracing)\n", *chrome)
+		fmt.Fprintf(out, "\nChrome trace written to %s (%d link utilization counter tracks; open in chrome://tracing or ui.perfetto.dev)\n",
+			*chrome, len(tracks))
 	}
 	return nil
 }

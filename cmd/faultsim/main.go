@@ -7,6 +7,11 @@
 //
 //	faultsim -scenario nvlink-kill -iters 8
 //	faultsim -scenario nic-flap -nodes 2 -cuda-aware
+//
+// -metrics FILE writes the adaptive run's telemetry snapshot report and
+// -events FILE its structured NDJSON event log (faults, adaptations, MPI
+// retries, link samples, phase spans — all on the virtual clock); feed the
+// latter to cmd/telemetry for a per-phase/hot-link/method-flip report.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sort"
 
 	stencil "github.com/nodeaware/stencil"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +48,8 @@ func run(args []string, out io.Writer) error {
 	cudaAware := fs.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
 	verify := fs.Bool("verify", false, "move real bytes and verify halos (small domains only)")
 	timeout := fs.Float64("send-timeout", 0, "MPI send timeout in seconds (0 disables retry)")
+	metricsPath := fs.String("metrics", "", "write the adaptive run's telemetry snapshot report to this file")
+	eventsPath := fs.String("events", "", "write the adaptive run's telemetry event log (NDJSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,9 +90,16 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "scenario %s: %s\n\n", *scenario, desc)
 
 	fill := func(q, x, y, z int) float32 { return float32(q*1000003 + z*9973 + y*97 + x) }
+	var tel *stencil.Telemetry
 	runOne := func(adaptive bool) (*stencil.DistributedDomain, *stencil.Stats, error) {
 		cfg := baseCfg(adaptive)
 		cfg.Fault = sc
+		if adaptive && (*metricsPath != "" || *eventsPath != "") {
+			// Telemetry observes the adaptive run: that is the one whose
+			// event log shows the fault -> adapt -> recover story.
+			tel = stencil.NewTelemetry()
+			cfg.Telemetry = tel
+		}
 		dd, err := stencil.New(cfg)
 		if err != nil {
 			return nil, nil, err
@@ -145,6 +160,38 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "halo verification: byte-identical in both runs\n")
+	}
+
+	if *metricsPath != "" && tel != nil {
+		rep := &telemetry.Report{
+			Schema: telemetry.SchemaVersion,
+			Tool:   "faultsim",
+			Iters:  *iters,
+			Runs: []telemetry.ReportRun{{
+				Config:   fmt.Sprintf("%dn/%dr/%d^3 %s adaptive", *nodes, *ranks, *edge, *scenario),
+				Snapshot: tel.Snapshot(),
+			}},
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WriteReport(f, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics report written to %s\n", *metricsPath)
+	}
+	if *eventsPath != "" && tel != nil {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tel.WriteEvents(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "event log written to %s\n", *eventsPath)
 	}
 	return nil
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // TestRunNVLinkKill: the acceptance scenario end to end through the driver —
@@ -45,5 +50,58 @@ func TestRunBadScenario(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-scenario", "meteor-strike"}, &buf); err == nil {
 		t.Error("expected error for unknown scenario")
+	}
+}
+
+// TestRunTelemetryOutputs: -metrics and -events capture the adaptive run —
+// the event log tells the fault -> adapt story and the snapshot report counts
+// the switches.
+func TestRunTelemetryOutputs(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	events := filepath.Join(dir, "e.ndjson")
+	args := []string{"-scenario", "nvlink-kill", "-domain", "24", "-iters", "4",
+		"-metrics", metrics, "-events", events}
+	var buf strings.Builder
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := telemetry.ReadReport(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "faultsim" || len(rep.Runs) != 1 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	var switches float64
+	for _, c := range rep.Runs[0].Snapshot.Counters {
+		if c.Name == "adapt_switches_total" {
+			switches += c.Value
+		}
+	}
+	if switches == 0 {
+		t.Error("adaptive nvlink-kill run recorded no adapt_switches_total")
+	}
+
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults, adapts int
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", line, err)
+		}
+		switch m["kind"] {
+		case "fault":
+			faults++
+		case "adapt":
+			adapts++
+		}
+	}
+	if faults == 0 || adapts == 0 {
+		t.Errorf("event log has %d fault and %d adapt events, want both > 0", faults, adapts)
 	}
 }

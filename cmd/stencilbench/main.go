@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	stencilbench -experiment fig11|fig12a|fig12b|fig12c|fig13|fig3|fastpath|compare|all
-//	             [-maxnodes N] [-iters K] [-json FILE] [-parallel N] [-compare]
+//	stencilbench -experiment fig11|fig12a|fig12b|fig12c|fig13|fig3|fastpath|compare|metrics|all
+//	             [-maxnodes N] [-iters K] [-json FILE] [-metrics FILE] [-parallel N] [-compare]
 //
 // With -json FILE the same rows are also written as machine-readable JSON
 // (one object per experiment), so plots and regression checks can consume
 // the results without scraping the text tables.
+//
+// -metrics FILE runs the telemetry metrics ladder (the capability ladder on
+// a small smoke configuration with a telemetry recorder attached) and writes
+// the combined deterministic metrics report — the file results/METRICS.json
+// pins and the CI metrics-snapshot job diffs with cmd/telemetry.
 //
 // -parallel N runs the simulation engine's deferred payloads on N worker
 // goroutines (0 = sequential; results are bit-identical either way).
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"github.com/nodeaware/stencil/internal/figures"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 func main() {
@@ -65,10 +71,11 @@ type benchReport struct {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stencilbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, compare, all)")
+	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, compare, metrics, all)")
 	maxNodes := fs.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
 	iters := fs.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
 	jsonPath := fs.String("json", "", "also write the rows as JSON to this file (e.g. results/BENCH.json)")
+	metricsPath := fs.String("metrics", "", "run the metrics ladder and write its telemetry report to this file (e.g. results/METRICS.json)")
 	parallel := fs.Int("parallel", 0, "payload worker goroutines for the simulation engine (0 = sequential; results are bit-identical; -compare defaults to NumCPU)")
 	compare := fs.Bool("compare", false, "shorthand for -experiment compare: benchmark sequential vs parallel engine wall time")
 	if err := fs.Parse(args); err != nil {
@@ -78,8 +85,17 @@ func run(args []string, out io.Writer) error {
 	if *compare {
 		*experiment = "compare"
 	}
+	if *metricsPath != "" {
+		*experiment = "metrics"
+	}
 
+	var metricsReport *telemetry.Report
 	runners := map[string]func() ([]figures.Row, error){
+		"metrics": func() ([]figures.Row, error) {
+			rows, rep, err := figures.MetricsLadder(*iters)
+			metricsReport = rep
+			return rows, err
+		},
 		"table1":   func() ([]figures.Row, error) { return figures.TableI(), nil },
 		"fig3":     func() ([]figures.Row, error) { return figures.Fig3(), nil },
 		"fig11":    func() ([]figures.Row, error) { return figures.Fig11(*iters) },
@@ -132,6 +148,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "JSON report written to %s\n", *jsonPath)
+	}
+	if *metricsPath != "" && metricsReport != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WriteReport(f, metricsReport); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics report written to %s\n", *metricsPath)
 	}
 	return nil
 }

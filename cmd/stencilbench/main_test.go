@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/nodeaware/stencil/internal/figures"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // TestRunTableI: the cheapest experiment prints its header and rows.
@@ -58,5 +61,50 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-experiment", "fig99"}, &buf); err == nil {
 		t.Error("expected error for unknown experiment")
+	}
+}
+
+// TestRunMetrics: -metrics writes a well-formed telemetry report covering
+// the whole capability ladder.
+func TestRunMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "METRICS.json")
+	var buf strings.Builder
+	if err := run([]string{"-iters", "1", "-metrics", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := telemetry.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != telemetry.SchemaVersion || rep.Tool != "stencilbench" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Runs) != 4 {
+		t.Fatalf("got %d runs, want the 4 ladder rungs", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if len(r.Snapshot.Counters) == 0 || len(r.Snapshot.Links) == 0 || len(r.Snapshot.Spans) == 0 {
+			t.Errorf("run %s %s: empty snapshot sections", r.Config, r.Caps)
+		}
+	}
+}
+
+// TestMetricsGolden is the same gate CI's metrics-snapshot job applies: the
+// committed golden must match a fresh run (schema exactly, values within
+// tolerance). Regenerate results/METRICS.json via
+// `go run ./cmd/stencilbench -iters 2 -metrics results/METRICS.json`
+// when an intentional telemetry change lands.
+func TestMetricsGolden(t *testing.T) {
+	golden := filepath.Join("..", "..", "results", "METRICS.json")
+	ref, err := telemetry.ReadReport(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with stencilbench -metrics): %v", err)
+	}
+	_, rep, err := figures.MetricsLadder(ref.Iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := telemetry.DiffReports(ref, rep, 0.20); len(issues) != 0 {
+		t.Fatalf("metrics drift against golden:\n  %s", strings.Join(issues, "\n  "))
 	}
 }

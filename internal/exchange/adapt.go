@@ -8,6 +8,7 @@ import (
 	"github.com/nodeaware/stencil/internal/nvml"
 	"github.com/nodeaware/stencil/internal/placement"
 	"github.com/nodeaware/stencil/internal/sim"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // This file is the degradation-aware adaptation layer: a health monitor that
@@ -208,6 +209,23 @@ func (e *Exchanger) switchMethod(pl *Plan, to Method, reason string) {
 func (e *Exchanger) logAdapt(r AdaptRecord) {
 	e.AdaptLog = append(e.AdaptLog, r)
 	e.Eng.Tracef("adapt: %s", r)
+	tel := e.Opts.Telemetry
+	if tel == nil {
+		return
+	}
+	if r.PlanID < 0 {
+		tel.Event(r.At, "adapt", telemetry.F("reason", r.Reason))
+		return
+	}
+	tel.Counter("adapt_switches_total",
+		telemetry.L("from", r.From.String()), telemetry.L("to", r.To.String())).Inc()
+	tel.Gauge("exchange_plans", telemetry.L("method", r.From.String())).Add(-1)
+	tel.Gauge("exchange_plans", telemetry.L("method", r.To.String())).Add(1)
+	tel.Event(r.At, "adapt",
+		telemetry.F("plan", r.PlanID),
+		telemetry.F("from", r.From.String()),
+		telemetry.F("to", r.To.String()),
+		telemetry.F("reason", r.Reason))
 }
 
 // adaptTick is the monitor body. It runs on rank 0's proc at the inter-

@@ -31,6 +31,7 @@ import (
 	"github.com/nodeaware/stencil/internal/part"
 	"github.com/nodeaware/stencil/internal/placement"
 	"github.com/nodeaware/stencil/internal/sim"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // Method is one of the paper's five transfer methods.
@@ -184,6 +185,15 @@ type Options struct {
 	// TestParallelDeterminism); only RealData runs have meaningful payloads,
 	// so that is where the speedup shows.
 	Workers int
+
+	// Telemetry, when set, receives the unified observability stream: link
+	// utilization samples from every flow-network rebalance, setup and
+	// per-iteration phase spans, CUDA op records, MPI retries, applied
+	// faults, and adaptation decisions — all keyed by virtual time (see
+	// internal/telemetry). Attaching a recorder never changes simulated
+	// times: every hook is a passive observer at points the simulation
+	// already visits.
+	Telemetry *telemetry.Recorder
 }
 
 // Sub is one subdomain bound to a GPU.
@@ -371,6 +381,13 @@ func New(opts Options) (*Exchanger, error) {
 	eng := sim.NewEngine()
 	eng.SetWorkers(opts.Workers)
 	m := machine.New(eng, opts.Nodes, nodeCfg, params)
+	tel := opts.Telemetry
+	if tel != nil {
+		// Every waterfill rebalance reports per-link utilization and flow
+		// counts; sampling starts here so the placement microbenchmark's
+		// flows (EmpiricalPlacement) are visible too.
+		m.Net.Probe = tel
+	}
 	switch {
 	case opts.FairnessHorizon > 0:
 		m.Net.MaxHops = opts.FairnessHorizon
@@ -381,10 +398,24 @@ func New(opts Options) (*Exchanger, error) {
 	w := mpi.NewWorld(m, rt, opts.RanksPerNode, opts.CUDAAware)
 	w.SendTimeout = opts.SendTimeout
 	w.SendRetries = opts.SendRetries
+	if tel != nil {
+		w.OnRetry = tel.MPIRetry
+	}
 
+	var setupSpan *telemetry.Span
+	if tel != nil {
+		setupSpan = tel.StartSpan("setup", nil, eng.Now())
+	}
+	var partSpan *telemetry.Span
+	if tel != nil {
+		partSpan = tel.StartSpan("setup.partition", setupSpan, eng.Now())
+	}
 	h, err := part.NewHier(opts.Domain, opts.Nodes, gpusPerNode)
 	if err != nil {
 		return nil, err
+	}
+	if partSpan != nil {
+		partSpan.End(eng.Now())
 	}
 
 	e := &Exchanger{
@@ -412,16 +443,44 @@ func New(opts Options) (*Exchanger, error) {
 	default:
 		return nil, fmt.Errorf("exchange: neighborhood %d (want 6, 18, or 26)", nbhd)
 	}
-	if opts.TraceOps {
-		rt.OnOp = func(r cudart.OpRecord) { e.Trace = append(e.Trace, r) }
+	if opts.TraceOps || tel != nil {
+		rt.OnOp = func(r cudart.OpRecord) {
+			if opts.TraceOps {
+				e.Trace = append(e.Trace, r)
+			}
+			if tel != nil {
+				tel.RecordOp(r.Kind.String(), r.Name, r.Device, r.Stream, r.Start, r.End, r.Bytes)
+			}
+		}
 	}
 
 	setupStart := time.Now()
+	var placeSpan *telemetry.Span
+	if tel != nil {
+		placeSpan = tel.StartSpan("setup.placement", setupSpan, eng.Now())
+	}
 	e.place()
+	if placeSpan != nil {
+		placeSpan.End(eng.Now())
+	}
 	e.SetupPlacementWall = time.Since(setupStart)
 
 	planStart := time.Now()
+	var specSpan *telemetry.Span
+	if tel != nil {
+		specSpan = tel.StartSpan("setup.specialization", setupSpan, eng.Now())
+	}
 	e.buildPlans()
+	if specSpan != nil {
+		var tags []telemetry.Label
+		counts := e.MethodCounts()
+		for m := Method(0); m < numMethods; m++ {
+			if c := counts[m]; c > 0 {
+				tags = append(tags, telemetry.L(m.String(), fmt.Sprint(c)))
+			}
+		}
+		specSpan.End(eng.Now(), tags...)
+	}
 	e.SetupPlanWall = time.Since(planStart)
 
 	// A halo exchange reads a send region radius cells deep; a subdomain
@@ -436,11 +495,35 @@ func New(opts Options) (*Exchanger, error) {
 
 	e.degradeStreak = make([]int, opts.Nodes)
 	e.replaceDone = make([]bool, opts.Nodes)
+	if tel != nil {
+		// One "plan" event per transfer plan records the setup-time method
+		// selection; the exchange_plans gauges track the live per-method
+		// counts from here on (adaptation moves them via logAdapt).
+		now := eng.Now()
+		for _, p := range e.Plans {
+			tel.Event(now, "plan",
+				telemetry.F("plan", p.ID),
+				telemetry.F("src_rank", p.Src.Rank),
+				telemetry.F("dst_rank", p.Dst.Rank),
+				telemetry.F("dir", fmt.Sprintf("%d,%d,%d", p.Dir.X, p.Dir.Y, p.Dir.Z)),
+				telemetry.F("method", p.Method.String()),
+				telemetry.F("bytes", p.Bytes))
+		}
+		for m, c := range e.MethodCounts() {
+			tel.Gauge("exchange_plans", telemetry.L("method", m.String())).Set(float64(c))
+		}
+		setupSpan.End(now)
+	}
 	// Faults are installed after setup: EmpiricalPlacement's microbenchmark
 	// advances the virtual clock, and scenario times are meant to be
 	// measured from the start of the run, not of topology discovery.
 	if opts.Fault != nil {
 		e.Faults = fault.NewInjector(m, rt, w)
+		if tel != nil {
+			e.Faults.OnRecord = func(rec fault.Record) {
+				tel.FaultApplied(rec.At, rec.Kind, rec.Desc)
+			}
+		}
 		if err := e.Faults.Install(opts.Fault); err != nil {
 			return nil, err
 		}

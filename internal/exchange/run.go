@@ -2,9 +2,11 @@ package exchange
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/nodeaware/stencil/internal/mpi"
 	"github.com/nodeaware/stencil/internal/sim"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // step is one state of a sender/receiver state machine (§III-D): when sig
@@ -323,6 +325,11 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 	}
 	times := make([]sim.Time, iterations)
 	ar := mpi.NewAllreducer(e.W)
+	tel := e.Opts.Telemetry
+	var runSpan *telemetry.Span
+	if tel != nil {
+		runSpan = tel.StartSpan("run", nil, e.Eng.Now())
+	}
 	for r := 0; r < e.W.Size(); r++ {
 		rank := r
 		e.Eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
@@ -334,11 +341,26 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 				maxDt := ar.MaxFloat(p, dt)
 				if rank == 0 {
 					times[it] = maxDt
+					if tel != nil {
+						// Rank 0 records the iteration on everyone's behalf:
+						// the span covers [t0, t0 + max-across-ranks], the
+						// same quantity the paper reports per iteration.
+						sp := tel.StartSpan("exchange", runSpan, t0)
+						sp.End(t0+maxDt, telemetry.L("iter", strconv.Itoa(it)))
+						tel.Counter("exchange_iterations_total").Inc()
+						tel.Histogram("exchange_iteration_seconds", telemetry.SecondsBuckets).Observe(maxDt)
+					}
 					// Safe point: every rank has passed the allreduce but
 					// none can leave the next barrier until rank 0 enters
 					// it, so no plan is mid-flight while we re-specialize.
 					if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
-						e.adaptTick(p)
+						if tel != nil {
+							asp := tel.StartSpan("adapt", runSpan, e.Eng.Now())
+							e.adaptTick(p)
+							asp.End(e.Eng.Now())
+						} else {
+							e.adaptTick(p)
+						}
 					}
 				}
 				if compute == nil {
@@ -363,6 +385,9 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 		})
 	}
 	e.Eng.Run()
+	if runSpan != nil {
+		runSpan.End(e.Eng.Now())
+	}
 	// Free the per-iteration rendezvous state.
 	e.slots = make(map[slotKey]*sim.Signal)
 	e.groupStates = make(map[slotKey]*groupState)

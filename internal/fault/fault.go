@@ -204,9 +204,12 @@ func (s *Scenario) PauseRank(t sim.Time, rank int, d sim.Time) *Scenario {
 		Target: Target{Kind: TargetRank, A: rank}})
 }
 
-// Record is one applied fault action, for timeline reports.
+// Record is one applied fault action, for timeline reports. Kind classifies
+// the action that was actually taken (a NICFlap event, for instance, records
+// a nic-flap action at outage start and a link-recover action at the end).
 type Record struct {
 	At   sim.Time
+	Kind string
 	Desc string
 }
 
@@ -220,6 +223,11 @@ type Injector struct {
 	RT  *cudart.Runtime
 	W   *mpi.World
 	log []Record
+
+	// OnRecord, when set, observes every applied fault action as it is
+	// recorded (in virtual-time order). It must be passive: telemetry, not
+	// control flow.
+	OnRecord func(Record)
 }
 
 // NewInjector binds an injector to the simulated hardware.
@@ -346,10 +354,13 @@ func (inj *Injector) links(tg Target) []*flownet.Link {
 	panic("fault: no links for target " + tg.String())
 }
 
-func (inj *Injector) record(format string, args ...any) {
-	rec := Record{At: inj.M.Eng.Now(), Desc: fmt.Sprintf(format, args...)}
+func (inj *Injector) record(kind Kind, format string, args ...any) {
+	rec := Record{At: inj.M.Eng.Now(), Kind: kind.String(), Desc: fmt.Sprintf(format, args...)}
 	inj.log = append(inj.log, rec)
 	inj.M.Eng.Tracef("fault: %s", rec.Desc)
+	if inj.OnRecord != nil {
+		inj.OnRecord(rec)
+	}
 }
 
 func (inj *Injector) apply(ev Event) {
@@ -359,19 +370,19 @@ func (inj *Injector) apply(ev Event) {
 		for _, l := range inj.links(ev.Target) {
 			net.DegradeLink(l, ev.Factor)
 		}
-		inj.record("degrade %s to %g x healthy", ev.Target, ev.Factor)
+		inj.record(LinkDegrade, "degrade %s to %g x healthy", ev.Target, ev.Factor)
 
 	case LinkFail:
 		for _, l := range inj.links(ev.Target) {
 			net.FailLink(l)
 		}
-		inj.record("fail %s", ev.Target)
+		inj.record(LinkFail, "fail %s", ev.Target)
 		if ev.Duration > 0 {
 			inj.M.Eng.After(ev.Duration, func() {
 				for _, l := range inj.links(ev.Target) {
 					net.RestoreLink(l)
 				}
-				inj.record("recover %s", ev.Target)
+				inj.record(LinkRecover, "recover %s", ev.Target)
 			})
 		}
 
@@ -379,33 +390,33 @@ func (inj *Injector) apply(ev Event) {
 		for _, l := range inj.links(ev.Target) {
 			net.RestoreLink(l)
 		}
-		inj.record("recover %s", ev.Target)
+		inj.record(LinkRecover, "recover %s", ev.Target)
 
 	case NICFlap:
 		for _, l := range inj.links(ev.Target) {
 			net.FailLink(l)
 		}
-		inj.record("flap %s down", ev.Target)
+		inj.record(NICFlap, "flap %s down", ev.Target)
 		inj.M.Eng.After(ev.Duration, func() {
 			for _, l := range inj.links(ev.Target) {
 				net.RestoreLink(l)
 			}
-			inj.record("flap %s recovered", ev.Target)
+			inj.record(LinkRecover, "flap %s recovered", ev.Target)
 		})
 
 	case GPUStraggle:
 		dev := inj.RT.DeviceAt(ev.Target.Node, ev.Target.A)
 		dev.SetSlowFactor(ev.Factor)
-		inj.record("straggle %s at %gx", ev.Target, ev.Factor)
+		inj.record(GPUStraggle, "straggle %s at %gx", ev.Target, ev.Factor)
 		if ev.Duration > 0 {
 			inj.M.Eng.After(ev.Duration, func() {
 				dev.SetSlowFactor(1)
-				inj.record("straggle %s recovered", ev.Target)
+				inj.record(GPUStraggle, "straggle %s recovered", ev.Target)
 			})
 		}
 
 	case RankPause:
 		inj.W.Rank(ev.Target.A).PauseProgress(ev.Duration)
-		inj.record("pause %s for %gs", ev.Target, ev.Duration)
+		inj.record(RankPause, "pause %s for %gs", ev.Target, ev.Duration)
 	}
 }

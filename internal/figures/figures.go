@@ -11,6 +11,7 @@ import (
 	"github.com/nodeaware/stencil/internal/exchange"
 	"github.com/nodeaware/stencil/internal/machine"
 	"github.com/nodeaware/stencil/internal/part"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // Row is one measured configuration. The json tags define the schema of
@@ -202,6 +203,37 @@ func TableI() []Row {
 		mk("cudaIpc", fmt.Sprintf("get %.0f us, open %.0f us (setup only)", p.IpcGetHandle*1e6, p.IpcOpenHandle*1e6)),
 		mk("CUDA-aware MPI", fmt.Sprintf("%.0f us/message + %.0f us device sync (every exchange)", p.CudaAwarePerMsg*1e6, p.CudaAwareSyncCost*1e6)),
 	}
+}
+
+// MetricsLadder runs the capability ladder on a small single-node smoke
+// configuration with a fresh telemetry recorder per rung, returning the
+// timing rows plus a combined metrics report. The report's values are pure
+// functions of the simulation (virtual times, op counts, link integrals), so
+// the same binary produces byte-identical output on every run — that is what
+// results/METRICS.json pins and the CI metrics-snapshot job diffs against.
+func MetricsLadder(iters int) ([]Row, *telemetry.Report, error) {
+	rep := &telemetry.Report{Schema: telemetry.SchemaVersion, Tool: "stencilbench", Iters: iters}
+	var rows []Row
+	for _, caps := range Ladder {
+		tel := telemetry.New()
+		opts := baseOpts(1, 2, 256, caps, false)
+		opts.Telemetry = tel
+		e, err := exchange.New(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := e.Run(iters).Min()
+		rows = append(rows, Row{
+			Config: opts.ConfigString(), Caps: opts.CapsString(),
+			Nodes: 1, Ranks: 2, Domain: 256, Seconds: t,
+		})
+		rep.Runs = append(rep.Runs, telemetry.ReportRun{
+			Config:   opts.ConfigString(),
+			Caps:     opts.CapsString(),
+			Snapshot: tel.Snapshot(),
+		})
+	}
+	return rows, rep, nil
 }
 
 // Fig3 reproduces the partitioning comparison: total communication volume of

@@ -159,12 +159,31 @@ type Network struct {
 	pendSeeds []*Link
 	pendFlows []*Flow // flows started this instant (pending flag set)
 
+	// Probe, when non-nil, observes every waterfill rebalance: one
+	// LinkSample per component link with its post-waterfill utilization and
+	// active-flow count, then one Rebalanced call with the component size.
+	// Probes must be passive (never schedule engine events or mutate the
+	// network); internal/telemetry.Recorder satisfies this interface.
+	Probe Probe
+
 	// Reusable scratch for rebalance.
 	compFlows []*Flow
 	compLinks []*Link
 	compDepth []int
 	actLinks  []*Link
 	arena     []*Flow // per-link interior-flow segments (Link.off/end)
+}
+
+// Probe observes rate rebalances for telemetry. Utilization is the link's
+// allocated rate divided by its live capacity, clamped to [0, 1]; every
+// mutation (flow start/finish/abort, capacity change) funnels through a
+// rebalance, so sampling here sees every change exactly once per instant.
+type Probe interface {
+	// LinkSample reports one link's state after a waterfill pass.
+	LinkSample(t sim.Time, link string, util float64, flows int)
+	// Rebalanced reports one waterfill pass: component size in links and
+	// flows, plus the network-wide active flow count.
+	Rebalanced(t sim.Time, links, flows, active int)
 }
 
 // New creates an empty network bound to the engine.
@@ -443,6 +462,9 @@ func (n *Network) rebalance(seed []*Link) {
 	}
 	n.compFlows, n.compLinks, n.compDepth = flows, links, depth
 	if len(flows) == 0 {
+		// All flows over the seed links finished or moved away: the links
+		// are idle now, and the probe must see utilization drop to zero.
+		n.probeSample(links, 0)
 		return
 	}
 
@@ -565,6 +587,26 @@ func (n *Network) rebalance(seed []*Link) {
 		}
 		act = live
 	}
+	n.probeSample(links, len(flows))
+}
+
+// probeSample reports a rebalanced component to the installed probe.
+func (n *Network) probeSample(links []*Link, flows int) {
+	if n.Probe == nil {
+		return
+	}
+	now := n.eng.Now()
+	for _, l := range links {
+		util := 0.0
+		if l.Capacity > 0 {
+			util = l.rateSum / l.Capacity
+			if util > 1 {
+				util = 1
+			}
+		}
+		n.Probe.LinkSample(now, l.Name, util, len(l.flows))
+	}
+	n.Probe.Rebalanced(now, len(links), flows, n.active)
 }
 
 // applyRate installs a flow's new rate, updates the rate sums of the links

@@ -52,6 +52,10 @@ type World struct {
 	SendRetries int
 	// Retries counts retry attempts actually taken, for reporting.
 	Retries int
+	// OnRetry, when set, observes every timed-out-and-aborted send attempt
+	// (the wire transfer's name and the 1-based attempt number that was
+	// abandoned). Must be passive: telemetry, not control flow.
+	OnRetry func(t sim.Time, name string, attempt int)
 
 	barrierCount int
 	barrierSig   *sim.Signal
@@ -260,6 +264,9 @@ func (w *World) startFlowRetry(name string, path []*flownet.Link, bytes float64,
 			}
 			w.M.Net.Abort(f)
 			w.Retries++
+			if w.OnRetry != nil {
+				w.OnRetry(eng.Now(), name, n+1)
+			}
 			eng.After(backoff, func() { attempt(n + 1) })
 		})
 	}

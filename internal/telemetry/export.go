@@ -1,0 +1,462 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the snapshot document layout. Bump it when the
+// Snapshot shape changes incompatibly; the CI drift gate compares it exactly.
+const SchemaVersion = "stencil-metrics/1"
+
+// Snapshot is the exportable state of a Recorder: every metric sorted by
+// (name, labels), per-link statistics derived from the utilization tracks,
+// and per-name span totals. It contains only virtual-time quantities — no
+// wall-clock values — so identical runs marshal to identical bytes.
+type Snapshot struct {
+	Schema     string       `json:"schema"`
+	Counters   []Metric     `json:"counters"`
+	Gauges     []Metric     `json:"gauges"`
+	Histograms []HistMetric `json:"histograms"`
+	Links      []LinkStat   `json:"links"`
+	Spans      []SpanStat   `json:"spans"`
+	Events     int          `json:"events"`
+}
+
+// Metric is one exported counter or gauge sample.
+type Metric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistMetric is one exported histogram.
+type HistMetric struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []float64         `json:"buckets"`
+	Counts  []uint64          `json:"counts"`
+	Sum     float64           `json:"sum"`
+	Count   uint64            `json:"count"`
+}
+
+// LinkStat summarizes one link's utilization track: BusySeconds is
+// ∫ utilization dt over the run (1.0 would mean saturated for one virtual
+// second), Peak the highest sampled utilization.
+type LinkStat struct {
+	Name        string  `json:"name"`
+	BusySeconds float64 `json:"busy_seconds"`
+	Peak        float64 `json:"peak_util"`
+	Samples     int     `json:"samples"`
+}
+
+// SpanStat aggregates completed spans by name.
+type SpanStat struct {
+	Name         string  `json:"name"`
+	Count        int     `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot exports the recorder's current state.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{Schema: SchemaVersion, Events: len(r.events)}
+
+	keys := func(m map[string]metricMeta, in func(string) bool) []string {
+		var ks []string
+		for k := range m {
+			if in(k) {
+				ks = append(ks, k)
+			}
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	for _, k := range keys(r.metas, func(k string) bool { _, ok := r.counters[k]; return ok }) {
+		meta := r.metas[k]
+		s.Counters = append(s.Counters, Metric{Name: meta.name, Labels: labelMap(meta.labels), Value: r.counters[k].v})
+	}
+	for _, k := range keys(r.metas, func(k string) bool { _, ok := r.gauges[k]; return ok }) {
+		meta := r.metas[k]
+		s.Gauges = append(s.Gauges, Metric{Name: meta.name, Labels: labelMap(meta.labels), Value: r.gauges[k].v})
+	}
+	for _, k := range keys(r.metas, func(k string) bool { _, ok := r.hists[k]; return ok }) {
+		meta := r.metas[k]
+		h := r.hists[k]
+		s.Histograms = append(s.Histograms, HistMetric{
+			Name: meta.name, Labels: labelMap(meta.labels),
+			Buckets: h.buckets, Counts: h.counts, Sum: h.sum, Count: h.n,
+		})
+	}
+	for _, tr := range r.Tracks() {
+		if !tr.isLink {
+			continue
+		}
+		s.Links = append(s.Links, LinkStat{
+			Name: tr.Name, BusySeconds: tr.integral, Peak: tr.peak, Samples: tr.samples,
+		})
+	}
+	agg := make(map[string]*SpanStat)
+	var names []string
+	for _, sp := range r.spans {
+		st, ok := agg[sp.Name]
+		if !ok {
+			st = &SpanStat{Name: sp.Name}
+			agg[sp.Name] = st
+			names = append(names, sp.Name)
+		}
+		st.Count++
+		st.TotalSeconds += sp.End - sp.Start
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Spans = append(s.Spans, *agg[n])
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (the METRICS.json format).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	return writeJSON(w, r.Snapshot())
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteEvents writes the event log as NDJSON: one JSON object per line, keys
+// in a fixed order ("t", "kind", then the record's fields in append order).
+func (r *Recorder) WriteEvents(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range r.events {
+		if err := writeEvent(bw, &r.events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeEvent hand-encodes one record so field order is stable (encoding/json
+// on a map would sort keys; on a struct it cannot carry per-kind fields).
+func writeEvent(w *bufio.Writer, e *Event) error {
+	w.WriteString(`{"t":`)
+	if err := writeJSONValue(w, e.T); err != nil {
+		return err
+	}
+	w.WriteString(`,"kind":`)
+	if err := writeJSONValue(w, e.Kind); err != nil {
+		return err
+	}
+	for _, f := range e.Fields {
+		w.WriteByte(',')
+		if err := writeJSONValue(w, f.Key); err != nil {
+			return err
+		}
+		w.WriteByte(':')
+		if err := writeJSONValue(w, f.Value); err != nil {
+			return err
+		}
+	}
+	w.WriteString("}\n")
+	return nil
+}
+
+func writeJSONValue(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("telemetry: event value %v: %w", v, err)
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format, sorted by (name, labels). Histograms expand to the conventional
+// _bucket/_sum/_count series; link tracks export as link_busy_seconds and
+// link_peak_util.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	s := r.Snapshot()
+	for _, m := range s.Counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s%s %s\n", m.Name, m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+	}
+	for _, m := range s.Gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s%s %s\n", m.Name, m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
+		cum := uint64(0)
+		for i, ub := range h.Buckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", promFloat(ub)), cum)
+		}
+		cum += h.Counts[len(h.Buckets)]
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum)
+		fmt.Fprintf(bw, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", ""), promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	if len(s.Links) > 0 {
+		fmt.Fprintf(bw, "# TYPE link_busy_seconds counter\n")
+		for _, l := range s.Links {
+			fmt.Fprintf(bw, "link_busy_seconds{link=%q} %s\n", l.Name, promFloat(l.BusySeconds))
+		}
+		fmt.Fprintf(bw, "# TYPE link_peak_util gauge\n")
+		for _, l := range s.Links {
+			fmt.Fprintf(bw, "link_peak_util{link=%q} %s\n", l.Name, promFloat(l.Peak))
+		}
+	}
+	return bw.Flush()
+}
+
+// promFloat renders a float the way Go's JSON encoder does, so text and JSON
+// exports agree digit-for-digit.
+func promFloat(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// promLabels renders a sorted label set, optionally with one extra pair
+// appended (the histogram "le" bound).
+func promLabels(labels map[string]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Report is the top-level METRICS.json document: one snapshot per run of a
+// deterministic configuration ladder.
+type Report struct {
+	Schema string      `json:"schema"`
+	Tool   string      `json:"tool"`
+	Iters  int         `json:"iters,omitempty"`
+	Runs   []ReportRun `json:"runs"`
+}
+
+// ReportRun is one configuration's snapshot.
+type ReportRun struct {
+	Config   string   `json:"config"`
+	Caps     string   `json:"caps,omitempty"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// WriteReport writes a report as indented JSON.
+func WriteReport(w io.Writer, rep *Report) error { return writeJSON(w, rep) }
+
+// ReadReport parses a report file.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// DiffReports compares a regenerated report against the committed golden:
+// the schema — document schema string, run list, metric names and label
+// sets, histogram bucket layouts, link and span name sets — must match
+// exactly; values must agree within the relative tolerance. It returns a
+// human-readable list of violations (empty means the gate passes).
+func DiffReports(ref, got *Report, tol float64) []string {
+	var issues []string
+	add := func(format string, args ...any) { issues = append(issues, fmt.Sprintf(format, args...)) }
+
+	if ref.Schema != got.Schema {
+		add("schema mismatch: golden %q vs regenerated %q", ref.Schema, got.Schema)
+		return issues
+	}
+	if len(ref.Runs) != len(got.Runs) {
+		add("run count mismatch: golden %d vs regenerated %d", len(ref.Runs), len(got.Runs))
+		return issues
+	}
+	for i := range ref.Runs {
+		rr, gr := &ref.Runs[i], &got.Runs[i]
+		ctx := fmt.Sprintf("run %s %s", rr.Config, rr.Caps)
+		if rr.Config != gr.Config || rr.Caps != gr.Caps {
+			add("%s: regenerated as %s %s", ctx, gr.Config, gr.Caps)
+			continue
+		}
+		diffSnapshot(ctx, &rr.Snapshot, &gr.Snapshot, tol, add)
+	}
+	return issues
+}
+
+func diffSnapshot(ctx string, ref, got *Snapshot, tol float64, add func(string, ...any)) {
+	if ref.Schema != got.Schema {
+		add("%s: snapshot schema %q vs %q", ctx, ref.Schema, got.Schema)
+		return
+	}
+	metricKey := func(m Metric) string { return m.Name + promLabels(m.Labels, "", "") }
+	diffMetrics := func(kind string, r, g []Metric) {
+		rm, gm := map[string]float64{}, map[string]float64{}
+		for _, m := range r {
+			rm[metricKey(m)] = m.Value
+		}
+		for _, m := range g {
+			gm[metricKey(m)] = m.Value
+		}
+		for _, m := range r {
+			k := metricKey(m)
+			gv, ok := gm[k]
+			if !ok {
+				add("%s: %s %s missing from regenerated run", ctx, kind, k)
+				continue
+			}
+			if !within(m.Value, gv, tol) {
+				add("%s: %s %s: golden %g vs regenerated %g (tol %g)", ctx, kind, k, m.Value, gv, tol)
+			}
+		}
+		for _, m := range g {
+			if _, ok := rm[metricKey(m)]; !ok {
+				add("%s: %s %s not in golden (schema change: regenerate the golden)", ctx, kind, metricKey(m))
+			}
+		}
+	}
+	diffMetrics("counter", ref.Counters, got.Counters)
+	diffMetrics("gauge", ref.Gauges, got.Gauges)
+
+	rh := map[string]HistMetric{}
+	for _, h := range ref.Histograms {
+		rh[h.Name+promLabels(h.Labels, "", "")] = h
+	}
+	gh := map[string]HistMetric{}
+	for _, h := range got.Histograms {
+		gh[h.Name+promLabels(h.Labels, "", "")] = h
+	}
+	for k, h := range rh {
+		g, ok := gh[k]
+		if !ok {
+			add("%s: histogram %s missing from regenerated run", ctx, k)
+			continue
+		}
+		if !equalFloats(h.Buckets, g.Buckets) {
+			add("%s: histogram %s bucket layout changed", ctx, k)
+			continue
+		}
+		if !within(float64(h.Count), float64(g.Count), tol) {
+			add("%s: histogram %s count: golden %d vs regenerated %d", ctx, k, h.Count, g.Count)
+		}
+		if !within(h.Sum, g.Sum, tol) {
+			add("%s: histogram %s sum: golden %g vs regenerated %g", ctx, k, h.Sum, g.Sum)
+		}
+	}
+	for k := range gh {
+		if _, ok := rh[k]; !ok {
+			add("%s: histogram %s not in golden (schema change: regenerate the golden)", ctx, k)
+		}
+	}
+
+	rl := map[string]LinkStat{}
+	for _, l := range ref.Links {
+		rl[l.Name] = l
+	}
+	gl := map[string]LinkStat{}
+	for _, l := range got.Links {
+		gl[l.Name] = l
+	}
+	for k, l := range rl {
+		g, ok := gl[k]
+		if !ok {
+			add("%s: link %s missing from regenerated run", ctx, k)
+			continue
+		}
+		if !within(l.BusySeconds, g.BusySeconds, tol) {
+			add("%s: link %s busy_seconds: golden %g vs regenerated %g", ctx, k, l.BusySeconds, g.BusySeconds)
+		}
+	}
+	for k := range gl {
+		if _, ok := rl[k]; !ok {
+			add("%s: link %s not in golden (schema change: regenerate the golden)", ctx, k)
+		}
+	}
+
+	rs := map[string]SpanStat{}
+	for _, s := range ref.Spans {
+		rs[s.Name] = s
+	}
+	gs := map[string]SpanStat{}
+	for _, s := range got.Spans {
+		gs[s.Name] = s
+	}
+	for k, s := range rs {
+		g, ok := gs[k]
+		if !ok {
+			add("%s: span %s missing from regenerated run", ctx, k)
+			continue
+		}
+		if s.Count != g.Count {
+			add("%s: span %s count: golden %d vs regenerated %d", ctx, k, s.Count, g.Count)
+		}
+		if !within(s.TotalSeconds, g.TotalSeconds, tol) {
+			add("%s: span %s total_seconds: golden %g vs regenerated %g", ctx, k, s.TotalSeconds, g.TotalSeconds)
+		}
+	}
+	for k := range gs {
+		if _, ok := rs[k]; !ok {
+			add("%s: span %s not in golden (schema change: regenerate the golden)", ctx, k)
+		}
+	}
+}
+
+// within reports whether two values agree within the relative tolerance.
+func within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*m
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

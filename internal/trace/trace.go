@@ -101,12 +101,31 @@ type chromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// CounterTrack is a step function of (virtual time, value) samples merged
+// into the Chrome trace as Perfetto counter events — typically per-link
+// utilization from a telemetry recorder's Tracks().
+type CounterTrack struct {
+	Name   string
+	Times  []float64 // seconds, ascending
+	Values []float64 // same length as Times
+}
+
+// counterPID is the synthetic process id holding all counter tracks, chosen
+// far above any real device id so Perfetto groups them in their own lane.
+const counterPID = 1000
+
 // WriteChromeTrace emits the timeline as Chrome trace-event JSON: one
-// process per device, one thread per stream. Load the output in
-// chrome://tracing or https://ui.perfetto.dev.
-func (t *Timeline) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(t.Ops))
+// process per device, one thread per stream, plus one "C" counter event per
+// sample of each optional counter track. Load the output in chrome://tracing
+// or https://ui.perfetto.dev.
+func (t *Timeline) WriteChromeTrace(w io.Writer, tracks ...CounterTrack) error {
 	start, _ := t.Span()
+	for _, tr := range tracks {
+		if len(tr.Times) > 0 && tr.Times[0] < start {
+			start = tr.Times[0]
+		}
+	}
+	events := make([]chromeEvent, 0, len(t.Ops))
 	for _, op := range t.Ops {
 		events = append(events, chromeEvent{
 			Name:  op.Name,
@@ -118,6 +137,26 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 			TID:   op.Stream,
 			Args:  map[string]any{"bytes": op.Bytes},
 		})
+	}
+	if len(tracks) > 0 {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   counterPID,
+			Args:  map[string]any{"name": "link utilization"},
+		})
+		for _, tr := range tracks {
+			for i, ts := range tr.Times {
+				events = append(events, chromeEvent{
+					Name:  tr.Name,
+					Cat:   "counter",
+					Phase: "C",
+					TS:    (ts - start) * 1e6,
+					PID:   counterPID,
+					Args:  map[string]any{"value": tr.Values[i]},
+				})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": events})
@@ -134,43 +173,64 @@ var Glyphs = map[string]byte{
 	"memcpyH2H": '=',
 }
 
-// RenderASCII draws a Gantt chart of the timeline, one row per stream,
-// `width` characters across the time span.
+// RenderASCII draws a Gantt chart of the timeline, one row per
+// (device, stream) lane, `width` characters across the time span. Rows are
+// keyed by device AND stream: two devices may reuse the same stream name,
+// and a stream-only key would merge their lanes into one garbled row.
 func (t *Timeline) RenderASCII(w io.Writer, width int) {
 	if len(t.Ops) == 0 {
 		fmt.Fprintln(w, "(empty timeline)")
 		return
 	}
+	if width < 1 {
+		width = 1
+	}
 	start, end := t.Span()
 	span := end - start
 	if span <= 0 {
+		// Single-instant timeline: every op collapses to one glyph cell.
 		span = 1
 	}
 	scale := float64(width) / span
 
-	lastStream := ""
+	type rowKey struct {
+		device int
+		stream string
+	}
+	var last rowKey
+	haveRow := false
+	var label string
 	var row []byte
 	flush := func() {
-		if lastStream != "" {
-			fmt.Fprintf(w, "%-24s |%s|\n", lastStream, string(row))
+		if haveRow {
+			fmt.Fprintf(w, "%-24s |%s|\n", label, string(row))
 		}
 	}
 	for _, op := range t.Ops {
-		if op.Stream != lastStream {
+		k := rowKey{op.Device, op.Stream}
+		if !haveRow || k != last {
 			flush()
-			lastStream = op.Stream
+			last = k
+			haveRow = true
+			label = fmt.Sprintf("d%d %s", op.Device, op.Stream)
 			row = []byte(strings.Repeat(" ", width))
 		}
 		lo := int((op.Start - start) * scale)
 		hi := int((op.End - start) * scale)
+		if lo >= width {
+			lo = width - 1
+		}
 		if hi >= width {
 			hi = width - 1
+		}
+		if hi < lo {
+			hi = lo // zero-duration op still renders one glyph
 		}
 		g := Glyphs[op.Kind.String()]
 		if g == 0 {
 			g = '?'
 		}
-		for i := lo; i <= hi && i < width; i++ {
+		for i := lo; i <= hi; i++ {
 			row[i] = g
 		}
 	}

@@ -126,3 +126,128 @@ func TestRenderASCII(t *testing.T) {
 		t.Errorf("rendered %d lines, want 4:\n%s", len(lines), out)
 	}
 }
+
+// Two devices running streams with identical names must render as separate
+// lanes (rows are keyed by device AND stream, labels carry the device id).
+func TestRenderASCIIDuplicateStreamNames(t *testing.T) {
+	ops := []cudart.OpRecord{
+		{Kind: cudart.OpKernel, Name: "a", Device: 0, Stream: "send", Start: 0, End: 0.001},
+		{Kind: cudart.OpMemcpyD2D, Name: "b", Device: 1, Stream: "send", Start: 0, End: 0.001},
+	}
+	var buf bytes.Buffer
+	New(ops).RenderASCII(&buf, 20)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // 2 lanes + footer, NOT one merged lane
+		t.Fatalf("rendered %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "d0 send") || !strings.Contains(out, "d1 send") {
+		t.Fatalf("lanes not labeled by device:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "K") || !strings.Contains(lines[1], "P") {
+		t.Fatalf("lane glyphs merged:\n%s", out)
+	}
+}
+
+func TestRenderASCIIWidthGuard(t *testing.T) {
+	tl := New(sampleOps())
+	for _, width := range []int{-5, 0, 1} {
+		var buf bytes.Buffer
+		tl.RenderASCII(&buf, width) // must not panic
+		if buf.Len() == 0 {
+			t.Fatalf("width %d produced no output", width)
+		}
+	}
+}
+
+// A timeline where every op starts and ends at the same instant must render
+// without dividing by a zero span, and each op still shows one glyph.
+func TestRenderASCIISingleInstant(t *testing.T) {
+	ops := []cudart.OpRecord{
+		{Kind: cudart.OpKernel, Name: "a", Device: 0, Stream: "s", Start: 0.5, End: 0.5},
+		{Kind: cudart.OpMemcpyD2H, Name: "b", Device: 0, Stream: "t", Start: 0.5, End: 0.5},
+	}
+	var buf bytes.Buffer
+	New(ops).RenderASCII(&buf, 30)
+	out := buf.String()
+	if !strings.Contains(out, "K") || !strings.Contains(out, "v") {
+		t.Fatalf("zero-duration ops not rendered:\n%s", out)
+	}
+}
+
+func TestRenderASCIIZeroSpanTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	New(nil).RenderASCII(&buf, 0)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty timeline with zero width: %q", buf.String())
+	}
+}
+
+func TestComputeStatsSerialVsParallel(t *testing.T) {
+	serial := New([]cudart.OpRecord{
+		{Kind: cudart.OpKernel, Device: 0, Stream: "a", Start: 0, End: 1},
+		{Kind: cudart.OpKernel, Device: 0, Stream: "a", Start: 1, End: 2},
+	})
+	if s := serial.ComputeStats(); s.Overlap != 1 {
+		t.Fatalf("fully serial overlap = %g, want 1", s.Overlap)
+	}
+	par := New([]cudart.OpRecord{
+		{Kind: cudart.OpKernel, Device: 0, Stream: "a", Start: 0, End: 1},
+		{Kind: cudart.OpKernel, Device: 1, Stream: "b", Start: 0, End: 1},
+	})
+	if s := par.ComputeStats(); s.Overlap != 2 {
+		t.Fatalf("fully parallel overlap = %g, want 2", s.Overlap)
+	}
+}
+
+func TestChromeTraceCounterTracks(t *testing.T) {
+	tl := New(sampleOps())
+	track := CounterTrack{
+		Name:   "n0.nic.out",
+		Times:  []float64{0.0005, 0.002, 0.004},
+		Values: []float64{0, 0.8, 0.2},
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf, track); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var counters, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "C":
+			counters++
+			if ev.Name != "n0.nic.out" || ev.PID != counterPID {
+				t.Errorf("bad counter event %+v", ev)
+			}
+			if _, ok := ev.Args["value"]; !ok {
+				t.Errorf("counter event missing value arg: %+v", ev)
+			}
+			// The first track sample predates the first op; the whole trace
+			// must rebase to it so no timestamp is negative.
+			if ev.TS < 0 {
+				t.Errorf("negative counter timestamp %g", ev.TS)
+			}
+		case "M":
+			meta++
+		case "X":
+			if ev.TS < 0 {
+				t.Errorf("negative op timestamp %g", ev.TS)
+			}
+		}
+	}
+	if counters != 3 || meta != 1 {
+		t.Fatalf("got %d counter events, %d metadata events; want 3, 1", counters, meta)
+	}
+}

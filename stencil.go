@@ -32,6 +32,7 @@ import (
 	"github.com/nodeaware/stencil/internal/machine"
 	"github.com/nodeaware/stencil/internal/part"
 	"github.com/nodeaware/stencil/internal/sim"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // Dim3 is a 3D extent or index.
@@ -81,6 +82,17 @@ type (
 
 // AdaptRecord is one adaptation decision (a method switch or re-placement).
 type AdaptRecord = exchange.AdaptRecord
+
+// Telemetry is a unified virtual-time observability recorder: counters,
+// gauges, histograms, per-link utilization tracks, hierarchical phase spans,
+// and a structured event log, all keyed by simulated time and exportable as
+// Prometheus text, a JSON snapshot, or NDJSON events (see internal/telemetry).
+// Create one with NewTelemetry, attach it via Config.Telemetry, and read it
+// after the run. Attaching telemetry never changes simulated times.
+type Telemetry = telemetry.Recorder
+
+// NewTelemetry returns an empty recorder ready to attach to a Config.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // PlanInfo is an inspection snapshot of one transfer plan.
 type PlanInfo = exchange.PlanInfo
@@ -186,6 +198,15 @@ type Config struct {
 	// re-sent, up to SendRetries attempts (0 defaults to 8). 0 disables.
 	SendTimeout float64
 	SendRetries int
+
+	// Telemetry, when set, records metrics, link-utilization samples, phase
+	// spans, and a structured event log for the whole job; see NewTelemetry.
+	Telemetry *Telemetry
+
+	// Workers runs the engine's deferred payloads (real byte copies) on N
+	// goroutines; 0 keeps the simulation sequential. Results — including
+	// telemetry output — are bit-identical either way.
+	Workers int
 }
 
 // DistributedDomain is a stencil domain decomposed across a simulated
@@ -230,6 +251,8 @@ func New(cfg Config) (*DistributedDomain, error) {
 		AdaptPersistTicks:  cfg.AdaptPersistTicks,
 		SendTimeout:        sim.Time(cfg.SendTimeout),
 		SendRetries:        cfg.SendRetries,
+		Telemetry:          cfg.Telemetry,
+		Workers:            cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
