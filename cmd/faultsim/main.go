@@ -8,6 +8,13 @@
 //	faultsim -scenario nvlink-kill -iters 8
 //	faultsim -scenario nic-flap -nodes 2 -cuda-aware
 //
+// Permanent losses are scheduled with -kill (a GPU) and -killrank (a rank
+// and every GPU it drives); both are repeatable and imply periodic
+// checkpointing (-checkpoint), so the job rolls back to the last checkpoint,
+// migrates the lost subdomains to surviving GPUs, and replays:
+//
+//	faultsim -nodes 2 -kill 0:1@2.5 -killrank 3@4.2 -verify
+//
 // -metrics FILE writes the adaptive run's telemetry snapshot report and
 // -events FILE its structured NDJSON event log (faults, adaptations, MPI
 // retries, link samples, phase spans — all on the virtual clock); feed the
@@ -20,6 +27,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	stencil "github.com/nodeaware/stencil"
 	"github.com/nodeaware/stencil/internal/telemetry"
@@ -50,22 +58,52 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Float64("send-timeout", 0, "MPI send timeout in seconds (0 disables retry)")
 	metricsPath := fs.String("metrics", "", "write the adaptive run's telemetry snapshot report to this file")
 	eventsPath := fs.String("events", "", "write the adaptive run's telemetry event log (NDJSON) to this file")
+	checkpoint := fs.Int("checkpoint", 0,
+		"checkpoint every K iterations (0: auto — 2 when kills are scheduled, else disabled)")
+	type killSpec struct {
+		node, gpu int
+		at        float64
+		rank      bool
+	}
+	var kills []killSpec
+	fs.Func("kill", "permanently kill GPU `node:gpu@t`, t in healthy iterations (repeatable; overrides -scenario)",
+		func(s string) error {
+			var k killSpec
+			if _, err := fmt.Sscanf(s, "%d:%d@%f", &k.node, &k.gpu, &k.at); err != nil {
+				return fmt.Errorf("-kill %q: want node:gpu@t", s)
+			}
+			kills = append(kills, k)
+			return nil
+		})
+	fs.Func("killrank", "permanently kill rank `r@t` and its GPUs, t in healthy iterations (repeatable; overrides -scenario)",
+		func(s string) error {
+			k := killSpec{rank: true}
+			if _, err := fmt.Sscanf(s, "%d@%f", &k.node, &k.at); err != nil {
+				return fmt.Errorf("-killrank %q: want rank@t", s)
+			}
+			kills = append(kills, k)
+			return nil
+		})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(kills) > 0 && *checkpoint == 0 {
+		*checkpoint = 2
 	}
 
 	baseCfg := func(adaptive bool) stencil.Config {
 		return stencil.Config{
-			Nodes:        *nodes,
-			RanksPerNode: *ranks,
-			Domain:       stencil.Dim3{X: *edge, Y: *edge, Z: *edge},
-			Radius:       *radius,
-			Quantities:   *quantities,
-			Capabilities: stencil.CapsAll(),
-			CUDAAware:    *cudaAware,
-			RealData:     *verify,
-			Adaptive:     adaptive,
-			SendTimeout:  *timeout,
+			Nodes:           *nodes,
+			RanksPerNode:    *ranks,
+			Domain:          stencil.Dim3{X: *edge, Y: *edge, Z: *edge},
+			Radius:          *radius,
+			Quantities:      *quantities,
+			Capabilities:    stencil.CapsAll(),
+			CUDAAware:       *cudaAware,
+			RealData:        *verify,
+			Adaptive:        adaptive,
+			SendTimeout:     *timeout,
+			CheckpointEvery: *checkpoint,
 		}
 	}
 
@@ -79,9 +117,31 @@ func run(args []string, out io.Writer) error {
 	failAt := float64(healthy) * *failIter
 	outage := float64(healthy) * *outageIters
 
-	sc, desc, err := buildScenario(*scenario, probe, failAt, outage, *factor)
-	if err != nil {
-		return err
+	var sc *stencil.FaultScenario
+	var desc string
+	if len(kills) > 0 {
+		*scenario = "kill-schedule"
+		sc = &stencil.FaultScenario{Name: "kill-schedule"}
+		var parts []string
+		for _, k := range kills {
+			at := float64(healthy) * k.at
+			if k.rank {
+				sc.KillRank(at, k.node)
+				parts = append(parts, fmt.Sprintf("kill rank %d at t=%.3f ms", k.node, at*1e3))
+			} else {
+				sc.KillGPU(at, k.node, k.gpu)
+				parts = append(parts, fmt.Sprintf("kill GPU %d of node %d at t=%.3f ms", k.gpu, k.node, at*1e3))
+			}
+		}
+		desc = strings.Join(parts, "; ") + fmt.Sprintf(" (checkpoint every %d iters)", *checkpoint)
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	} else {
+		sc, desc, err = buildScenario(*scenario, probe, failAt, outage, *factor)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "configuration: %dn/%dr domain %d^3 radius %d quantities %d cuda-aware=%v\n",
@@ -132,6 +192,14 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, r := range ddA.AdaptLog() {
 		fmt.Fprintf(out, "  %s\n", r)
+	}
+	if rec := ddA.RecoveryLog(); len(rec) > 0 {
+		fmt.Fprintf(out, "recovery timeline:\n")
+		for _, r := range rec {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+		fmt.Fprintf(out, "recovery summary: %d checkpoints, %d rollbacks, %d subdomains migrated\n",
+			statsA.Checkpoints, statsA.Rollbacks, statsA.MigratedSubs)
 	}
 
 	fmt.Fprintf(out, "\niteration times (ms):\n")

@@ -32,6 +32,46 @@ func TestRunNVLinkKill(t *testing.T) {
 	}
 }
 
+// TestRunKillSchedule: the recovery scenario end to end through the driver —
+// -kill and -killrank build a fatal schedule, checkpointing defaults on, the
+// recovery timeline is printed, and the recovered run stays byte-identical.
+func TestRunKillSchedule(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-nodes", "2", "-domain", "24", "-iters", "8",
+		"-kill", "0:1@2.5", "-killrank", "3@4.2", "-verify"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scenario kill-schedule:", "(checkpoint every 2 iters)",
+		"permanent loss of n0.gpu.1", "permanent loss of rank3",
+		"recovery timeline:",
+		"checkpoint epoch 0 committed", "failure", "rollback", "migrate", "resume",
+		"recovery summary:", "2 rollbacks", "4 subdomains migrated",
+		"halo verification: byte-identical in both runs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBadKillSpec: malformed kill specs are reported as flag errors.
+func TestRunBadKillSpec(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kill", "0:1"},
+		{"-kill", "banana"},
+		{"-killrank", "3"},
+		{"-kill", "0:1@-2"},
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
 // TestRunStraggle: a scenario with no link damage still replays cleanly (no
 // adaptation is expected; kernels just slow down).
 func TestRunStraggle(t *testing.T) {

@@ -114,6 +114,25 @@ type Device struct {
 	defaultStream *Stream
 	streams       []*Stream
 	slow          float64 // straggle factor; 0 means healthy (1x)
+	dead          bool    // permanently failed (fail-stop)
+}
+
+// Fail marks the device permanently lost (fail-stop). Work already enqueued
+// completes in virtual time — the "zombie window" between the physical
+// failure and its detection at the next consistency point, mirroring how
+// real clusters learn of device death through timeouts — but new
+// allocations, streams, and peer enablement panic, so any use of the device
+// after the recovery layer has evicted it is a bug that surfaces
+// immediately.
+func (d *Device) Fail() { d.dead = true }
+
+// Dead reports whether the device has permanently failed.
+func (d *Device) Dead() bool { return d.dead }
+
+func (d *Device) checkAlive(op string) {
+	if d.dead {
+		panic(fmt.Sprintf("cudart: %s on dead device %d", op, d.ID))
+	}
 }
 
 // SetSlowFactor makes every kernel on the device take factor times as long
@@ -149,6 +168,8 @@ func (d *Device) CanAccessPeer(other *Device) bool {
 // EnablePeerAccess enables peer access from d to other (one direction, as in
 // CUDA). It returns an error if the devices cannot be peers.
 func (d *Device) EnablePeerAccess(other *Device) error {
+	d.checkAlive("EnablePeerAccess")
+	other.checkAlive("EnablePeerAccess(peer)")
 	if !d.CanAccessPeer(other) {
 		return fmt.Errorf("cudart: device %d cannot access peer %d", d.ID, other.ID)
 	}
@@ -166,7 +187,10 @@ func (d *Device) newStream(name string) *Stream {
 }
 
 // NewStream creates a new asynchronous stream on the device.
-func (d *Device) NewStream(name string) *Stream { return d.newStream(name) }
+func (d *Device) NewStream(name string) *Stream {
+	d.checkAlive("NewStream")
+	return d.newStream(name)
+}
 
 // Synchronize parks the process until every op enqueued so far on every
 // stream of the device has completed (cudaDeviceSynchronize).
@@ -179,6 +203,7 @@ func (d *Device) Synchronize(p *sim.Proc) {
 // Malloc allocates a device buffer. Backing bytes are allocated only in
 // real-data mode.
 func (d *Device) Malloc(size int64) *Buffer {
+	d.checkAlive("Malloc")
 	b := &Buffer{dev: d, size: size}
 	if d.rt.RealData {
 		b.data = make([]byte, size)

@@ -368,3 +368,49 @@ func TestDisjointPairsIndependentProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDeviceFail: a dead device rejects new resource acquisition (fail-stop
+// detection surface) while previously created streams keep executing — the
+// zombie window the recovery layer's rollback cleans up.
+func TestDeviceFail(t *testing.T) {
+	e, rt := newRT(1, false)
+	d := rt.DeviceAt(0, 0)
+	s := d.NewStream("pre")
+	d.Fail()
+	if !d.Dead() {
+		t.Fatal("Dead() false after Fail")
+	}
+	for name, fn := range map[string]func(){
+		"Malloc":    func() { d.Malloc(64) },
+		"NewStream": func() { d.NewStream("post") },
+		"EnablePeerAccess": func() {
+			_ = d.EnablePeerAccess(rt.DeviceAt(0, 1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s succeeded on a dead device", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Peer access onto a dead device is equally rejected.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EnablePeerAccess onto a dead device succeeded")
+			}
+		}()
+		_ = rt.DeviceAt(0, 1).EnablePeerAccess(d)
+	}()
+	// The zombie window: work on a pre-existing stream still completes in
+	// virtual time.
+	fired := false
+	s.Kernel("zombie", 1<<20, 100e9, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("pre-existing stream stopped executing after Fail")
+	}
+}

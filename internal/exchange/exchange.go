@@ -158,6 +158,19 @@ type Options struct {
 	// 0 defaults to 3.
 	AdaptPersistTicks int
 
+	// CheckpointEvery enables the recovery layer: every K iterations (plus
+	// once before the first iteration) each subdomain's full state is
+	// snapshotted to its node's host memory as a real D2H copy competing for
+	// link bandwidth, so checkpoint overhead shows in the virtual clock.
+	// Permanent-loss fault events (GPUFail/RankFail) require it: on
+	// detection, every rank rolls back to the last checkpoint epoch,
+	// orphaned subdomains are re-placed over the surviving capability matrix
+	// (their bytes migrating to the new homes as real flows), and the run
+	// replays from the epoch's iteration. 0 disables checkpointing.
+	// Incompatible with AggregateRemote and AdaptPlacement when fatal events
+	// are scheduled. See recover.go and DESIGN.md "Failure model".
+	CheckpointEvery int
+
 	// SendTimeout enables MPI-level retries: a wire transfer still in
 	// flight after this much virtual time is aborted and re-sent (up to
 	// SendRetries attempts, then driven to completion regardless). 0
@@ -318,6 +331,20 @@ type Exchanger struct {
 	// re-placements) in virtual-time order.
 	AdaptLog []AdaptRecord
 
+	// RecoveryLog records checkpoint, failure-detection, rollback, and
+	// migration actions in virtual-time order; empty unless
+	// Options.CheckpointEvery > 0.
+	RecoveryLog []RecoveryRecord
+
+	// coordRank performs the coordinator duties at the inter-iteration safe
+	// point (timing record, adaptation tick, checkpoint, failure detection):
+	// the lowest active rank, re-elected when recovery deactivates ranks.
+	coordRank int
+
+	// rec is the live checkpoint/recovery state during a Run with
+	// CheckpointEvery > 0 (see recover.go).
+	rec *recovery
+
 	// degradeStreak counts, per node, consecutive monitor ticks with at
 	// least one unhealthy intra-node link; replaceDone marks nodes already
 	// re-placed for the current degradation episode.
@@ -364,6 +391,20 @@ func New(opts Options) (*Exchanger, error) {
 	}
 	if opts.AdaptThreshold < 0 || opts.AdaptThreshold > 1 {
 		return nil, fmt.Errorf("exchange: AdaptThreshold %g outside [0, 1]", opts.AdaptThreshold)
+	}
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("exchange: CheckpointEvery %d < 0", opts.CheckpointEvery)
+	}
+	if opts.Fault != nil && opts.Fault.HasFatal() {
+		if opts.CheckpointEvery < 1 {
+			return nil, fmt.Errorf("exchange: fatal fault events (GPUFail/RankFail) require CheckpointEvery > 0")
+		}
+		if opts.AggregateRemote {
+			return nil, fmt.Errorf("exchange: fatal fault events are incompatible with AggregateRemote (aggregated messages pin rank pairs)")
+		}
+		if opts.AdaptPlacement {
+			return nil, fmt.Errorf("exchange: fatal fault events are incompatible with AdaptPlacement (recovery owns re-placement)")
+		}
 	}
 	nodeCfg := machine.SummitNode()
 	if opts.NodeConfig != nil {

@@ -1,0 +1,243 @@
+package exchange
+
+import (
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/fault"
+	"github.com/nodeaware/stencil/internal/part"
+	"github.com/nodeaware/stencil/internal/telemetry"
+)
+
+// recoverOpts is the recovery test bed: two Summit nodes, two ranks per node
+// (three GPUs per rank), real data, adaptive monitor on, checkpoints every
+// two iterations.
+func recoverOpts() Options {
+	return Options{
+		Nodes:           2,
+		RanksPerNode:    2,
+		Domain:          part.Dim3{X: 24, Y: 24, Z: 12},
+		Radius:          1,
+		Quantities:      2,
+		ElemSize:        4,
+		Caps:            CapsAll(),
+		NodeAware:       true,
+		RealData:        true,
+		Adaptive:        true,
+		CheckpointEvery: 2,
+	}
+}
+
+// healthySpan runs the fault-free configuration and returns its total
+// virtual time, for placing kill events mid-run.
+func healthySpan(t *testing.T, opts Options) float64 {
+	t.Helper()
+	opts.Fault = nil
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGlobal(e)
+	e.Run(6)
+	return e.Eng.Now()
+}
+
+func runRecovered(t *testing.T, sc *fault.Scenario) (*Exchanger, *Stats) {
+	t.Helper()
+	opts := recoverOpts()
+	opts.Fault = sc
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGlobal(e)
+	return e, e.Run(6)
+}
+
+// TestRecoveryGPULoss: one GPU dies mid-run; its subdomain migrates to a
+// surviving GPU on the same node, the run rolls back one epoch, replays, and
+// the final halos are byte-identical to a fault-free run.
+func TestRecoveryGPULoss(t *testing.T) {
+	at := 0.3 * healthySpan(t, recoverOpts())
+	e, st := runRecovered(t, (&fault.Scenario{Name: "gpu-loss"}).KillGPU(at, 0, 5))
+	if st.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if st.MigratedSubs != 1 {
+		t.Errorf("migrated = %d, want 1", st.MigratedSubs)
+	}
+	for _, s := range e.Subs {
+		if s.Dev.Dead() {
+			t.Errorf("subdomain %v still lives on dead device %d", s.Global, s.Dev.ID)
+		}
+	}
+	// The evicted subdomain stayed on its node: same-node spill is cheaper
+	// than crossing the NIC and node 0 had five survivors.
+	for _, s := range e.Subs {
+		if s.NodeID != s.Dev.Node {
+			t.Errorf("subdomain %v: NodeID %d but device node %d", s.Global, s.NodeID, s.Dev.Node)
+		}
+	}
+	if st.Checkpoints < 2 {
+		t.Errorf("checkpoints = %d, want >= 2 (epoch 0 + periodic)", st.Checkpoints)
+	}
+	verifyHalos(t, e)
+}
+
+// TestRecoveryNodeLoss kills both ranks of node 0 at the same timestamp
+// (also exercising the documented stable same-time event ordering): all six
+// of its subdomains must migrate across the NIC to node 1, the collectives
+// must shrink to the two surviving ranks, and the result must stay correct.
+func TestRecoveryNodeLoss(t *testing.T) {
+	at := 0.3 * healthySpan(t, recoverOpts())
+	e, st := runRecovered(t, (&fault.Scenario{Name: "node-loss"}).KillRank(at, 0).KillRank(at, 1))
+	if st.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if st.MigratedSubs != 6 {
+		t.Errorf("migrated = %d, want 6 (the whole node)", st.MigratedSubs)
+	}
+	for _, s := range e.Subs {
+		if s.NodeID != 1 {
+			t.Errorf("subdomain %v still homed on dead node %d", s.Global, s.NodeID)
+		}
+		if s.Rank < 2 || s.Rank > 3 {
+			t.Errorf("subdomain %v owned by dead rank %d", s.Global, s.Rank)
+		}
+	}
+	if e.W.ActiveSize() != 2 {
+		t.Errorf("active ranks = %d, want 2", e.W.ActiveSize())
+	}
+	verifyHalos(t, e)
+}
+
+// TestRecoveryCoordinatorFailover kills rank 0 — the coordinator — and
+// checks that the lowest surviving rank takes over and completes the run.
+func TestRecoveryCoordinatorFailover(t *testing.T) {
+	at := 0.3 * healthySpan(t, recoverOpts())
+	e, st := runRecovered(t, (&fault.Scenario{Name: "coord-loss"}).KillRank(at, 0))
+	if st.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if e.coordRank != 1 {
+		t.Errorf("coordinator = rank %d, want 1", e.coordRank)
+	}
+	if e.W.Deactivated(1) || !e.W.Deactivated(0) {
+		t.Error("deactivation state wrong after rank 0 loss")
+	}
+	verifyHalos(t, e)
+}
+
+// TestRecoveryRepeatedLoss: two separate failures, two rollbacks, still
+// byte-correct — the checkpoint slots must survive the first recovery (and
+// re-home with migrated subdomains).
+func TestRecoveryRepeatedLoss(t *testing.T) {
+	span := healthySpan(t, recoverOpts())
+	e, st := runRecovered(t, (&fault.Scenario{Name: "double-loss"}).
+		KillGPU(0.25*span, 0, 5).
+		KillGPU(0.9*span, 1, 2))
+	if st.Rollbacks != 2 {
+		t.Errorf("rollbacks = %d, want 2", st.Rollbacks)
+	}
+	if st.MigratedSubs != 2 {
+		t.Errorf("migrated = %d, want 2", st.MigratedSubs)
+	}
+	verifyHalos(t, e)
+}
+
+// TestRecoveryValidation: the fatal-event preconditions New enforces.
+func TestRecoveryValidation(t *testing.T) {
+	fatalSc := (&fault.Scenario{Name: "fatal"}).KillGPU(1e-3, 0, 0)
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"negative-checkpoint", func(o *Options) { o.CheckpointEvery = -1 }},
+		{"fatal-without-checkpoint", func(o *Options) { o.CheckpointEvery = 0; o.Fault = fatalSc }},
+		{"fatal-with-aggregate", func(o *Options) { o.Fault = fatalSc; o.AggregateRemote = true }},
+		{"fatal-with-adapt-placement", func(o *Options) { o.Fault = fatalSc; o.AdaptPlacement = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := recoverOpts()
+			tc.mut(&opts)
+			if _, err := New(opts); err == nil {
+				t.Errorf("New accepted invalid options %+v", opts)
+			}
+		})
+	}
+	// The happy path still constructs.
+	opts := recoverOpts()
+	opts.Fault = fatalSc
+	if _, err := New(opts); err != nil {
+		t.Errorf("New rejected valid recovery options: %v", err)
+	}
+}
+
+// TestRecoveryAdaptNoDoubleApply is the regression for the composed hazard
+// of recovery and the adaptive monitor: a link degradation that fires while
+// a rollback is in flight must be applied to the rebuilt plans exactly once.
+// The failure modes guarded against: (a) rebuildPlans selecting methods
+// health-blind and the mutation counter being treated as already consumed —
+// plans stuck on the dead link forever; (b) the next adaptive tick
+// re-applying the same episode — duplicate switch records.
+func TestRecoveryAdaptNoDoubleApply(t *testing.T) {
+	// Phase 1: find the rollback window for this exact configuration.
+	at := 0.3 * healthySpan(t, recoverOpts())
+	opts := recoverOpts()
+	opts.Fault = (&fault.Scenario{Name: "probe"}).KillGPU(at, 0, 5)
+	opts.Telemetry = telemetry.New()
+	probe, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGlobal(probe)
+	probe.Run(6)
+	var t0, t1 float64
+	for _, sp := range opts.Telemetry.Spans() {
+		if sp.Name == "rollback" {
+			t0, t1 = sp.Start, sp.End
+			break
+		}
+	}
+	if t1 <= t0 {
+		t.Fatalf("no rollback span in probe run (t0=%g t1=%g)", t0, t1)
+	}
+
+	// Phase 2: same job, plus a permanent NVLink kill in the middle of that
+	// window — i.e. while the restore flows are in flight. Virtual time is
+	// deterministic up to the injected event, so the window still holds.
+	// GPUs 0 and 1 share a triad on node 0 and both survive, so their
+	// PEERMEMCPY plans must be demoted to STAGED by the rebuilt plans.
+	e, st := runRecovered(t, (&fault.Scenario{Name: "mid-rollback"}).
+		KillGPU(at, 0, 5).
+		KillNVLink((t0+t1)/2, 0, 0, 1, 0))
+	if st.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	affected := 0
+	for _, pl := range e.Plans {
+		if pl.Src.Dev != pl.Dst.Dev &&
+			pl.Src.NodeID == 0 && pl.Dst.NodeID == 0 &&
+			((pl.Src.LocalGPU == 0 && pl.Dst.LocalGPU == 1) || (pl.Src.LocalGPU == 1 && pl.Dst.LocalGPU == 0)) {
+			affected++
+			if pl.Method != MethodStaged {
+				t.Errorf("plan %d (GPU %d->%d) method %s, want STAGED: dead NVLink not honored by rebuild",
+					pl.ID, pl.Src.LocalGPU, pl.Dst.LocalGPU, pl.Method)
+			}
+			demotions := 0
+			for _, r := range st.AdaptEvents {
+				if r.PlanID == pl.ID && r.To == MethodStaged {
+					demotions++
+				}
+			}
+			if demotions != 1 {
+				t.Errorf("plan %d: %d STAGED demotion records, want exactly 1 (double-applied or missed)",
+					pl.ID, demotions)
+			}
+		}
+	}
+	if affected == 0 {
+		t.Fatal("no plan crosses NVLink 0-1; regression scenario is vacuous")
+	}
+	verifyHalos(t, e)
+}

@@ -319,6 +319,12 @@ func (e *Exchanger) Run(iterations int) *Stats {
 // RunWithCompute interleaves a per-subdomain compute kernel after each
 // exchange (the application's stencil update). Only the exchange portion is
 // timed, matching the paper's methodology.
+//
+// With Options.CheckpointEvery > 0 the run additionally takes periodic
+// checkpoints and survives permanent GPU/rank loss by rolling every rank
+// back to the last checkpoint epoch (see recover.go). The recovery-capable
+// loop is a superset of the plain one; CheckpointEvery == 0 keeps the
+// original control flow so fault-free timings stay bit-identical.
 func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 	if iterations < 1 {
 		panic("exchange: Run with no iterations")
@@ -330,57 +336,125 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 	if tel != nil {
 		runSpan = tel.StartSpan("run", nil, e.Eng.Now())
 	}
+	// The coordinator runs the per-iteration bookkeeping: timing, telemetry,
+	// adaptation, and checkpoint/failure detection. It starts as the lowest
+	// active rank and is re-elected by recovery when it dies.
+	e.coordRank = -1
 	for r := 0; r < e.W.Size(); r++ {
+		if !e.W.Deactivated(r) {
+			e.coordRank = r
+			break
+		}
+	}
+	if e.coordRank < 0 {
+		panic("exchange: no active rank left to run")
+	}
+	var rc *recovery
+	if e.Opts.CheckpointEvery > 0 {
+		rc = newRecovery(e, iterations, runSpan)
+		e.rec = rc
+	}
+
+	// body is one iteration from one rank's perspective: exchange, timing
+	// allreduce, coordinator duties at the safe point, then compute.
+	body := func(p *sim.Proc, rank, it int) {
+		t0 := e.W.Wtime()
+		e.runIteration(p, rank, it)
+		dt := e.W.Wtime() - t0
+		maxDt := ar.MaxFloat(p, dt)
+		if rank == e.coordRank {
+			times[it] = maxDt
+			if tel != nil {
+				// The coordinator records the iteration on everyone's
+				// behalf: the span covers [t0, t0 + max-across-ranks], the
+				// same quantity the paper reports per iteration.
+				sp := tel.StartSpan("exchange", runSpan, t0)
+				sp.End(t0+maxDt, telemetry.L("iter", strconv.Itoa(it)))
+				tel.Counter("exchange_iterations_total").Inc()
+				tel.Histogram("exchange_iteration_seconds", telemetry.SecondsBuckets).Observe(maxDt)
+			}
+			// Safe point: every rank has passed the allreduce but none can
+			// leave the next barrier until the coordinator enters it, so no
+			// plan is mid-flight while we re-specialize or checkpoint.
+			if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
+				if tel != nil {
+					asp := tel.StartSpan("adapt", runSpan, e.Eng.Now())
+					e.adaptTick(p)
+					asp.End(e.Eng.Now())
+				} else {
+					e.adaptTick(p)
+				}
+			}
+			if rc != nil {
+				rc.atSafePoint(it)
+			}
+		}
+		if compute == nil {
+			return
+		}
+		// Ownership is re-read every iteration: AdaptPlacement (or a
+		// recovery migration) may move a subdomain to another rank's GPU
+		// mid-run.
+		var done []*sim.Signal
+		for _, s := range e.Subs {
+			if s.Rank != rank {
+				continue
+			}
+			s := s
+			bytes := int64(s.Dom.Size.Vol()) * int64(e.Opts.ElemSize) * int64(e.Opts.Quantities)
+			e.RT.LaunchCost(p)
+			done = append(done, s.kernelStream.Kernel(
+				fmt.Sprintf("compute.%v", s.Global), bytes, e.M.Params.PackBW,
+				func() { compute(s) }))
+		}
+		sim.WaitAll(p, done...)
+	}
+
+	for r := 0; r < e.W.Size(); r++ {
+		if e.W.Deactivated(r) {
+			continue
+		}
 		rank := r
 		e.Eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
-			for it := 0; it < iterations; it++ {
+			if rc == nil {
+				for it := 0; it < iterations; it++ {
+					e.W.Barrier(p)
+					body(p, rank, it)
+				}
+				return
+			}
+			// The recovery-capable loop: every barrier doubles as the
+			// recovery line. On a pending plan, dead ranks exit the job,
+			// the (re-elected) coordinator performs the rollback, and all
+			// survivors resume from the checkpoint epoch's iteration.
+			// Checkpoints run as a collective between the recovery line and
+			// the iteration body: the schedule is a pure function of the
+			// iteration number, so every rank knows one is due; the
+			// coordinator drives the D2H flows while everyone else parks at
+			// the closing barrier, which guarantees the snapshot is taken
+			// at a globally quiescent instant (epoch 0, before the first
+			// iteration, snapshots the pristine initial state).
+			it, lastHandled := 0, 0
+			for {
 				e.W.Barrier(p)
-				t0 := e.W.Wtime()
-				e.runIteration(p, rank, it)
-				dt := e.W.Wtime() - t0
-				maxDt := ar.MaxFloat(p, dt)
-				if rank == 0 {
-					times[it] = maxDt
-					if tel != nil {
-						// Rank 0 records the iteration on everyone's behalf:
-						// the span covers [t0, t0 + max-across-ranks], the
-						// same quantity the paper reports per iteration.
-						sp := tel.StartSpan("exchange", runSpan, t0)
-						sp.End(t0+maxDt, telemetry.L("iter", strconv.Itoa(it)))
-						tel.Counter("exchange_iterations_total").Inc()
-						tel.Histogram("exchange_iteration_seconds", telemetry.SecondsBuckets).Observe(maxDt)
-					}
-					// Safe point: every rank has passed the allreduce but
-					// none can leave the next barrier until rank 0 enters
-					// it, so no plan is mid-flight while we re-specialize.
-					if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
-						if tel != nil {
-							asp := tel.StartSpan("adapt", runSpan, e.Eng.Now())
-							e.adaptTick(p)
-							asp.End(e.Eng.Now())
-						} else {
-							e.adaptTick(p)
-						}
-					}
+				exit, resume := rc.atRecoveryLine(p, rank, &lastHandled)
+				if exit {
+					return
 				}
-				if compute == nil {
-					continue
+				if resume >= 0 {
+					it = resume
 				}
-				// Ownership is re-read every iteration: AdaptPlacement may
-				// migrate a subdomain to another rank's GPU mid-run.
-				var done []*sim.Signal
-				for _, s := range e.Subs {
-					if s.Rank != rank {
-						continue
+				if it >= iterations {
+					break
+				}
+				if rc.checkpointDue(it) {
+					if rank == e.coordRank {
+						rc.checkpoint(p, it)
 					}
-					s := s
-					bytes := int64(s.Dom.Size.Vol()) * int64(e.Opts.ElemSize) * int64(e.Opts.Quantities)
-					e.RT.LaunchCost(p)
-					done = append(done, s.kernelStream.Kernel(
-						fmt.Sprintf("compute.%v", s.Global), bytes, e.M.Params.PackBW,
-						func() { compute(s) }))
+					e.W.Barrier(p)
 				}
-				sim.WaitAll(p, done...)
+				body(p, rank, it)
+				it++
 			}
 		})
 	}

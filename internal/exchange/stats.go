@@ -28,6 +28,15 @@ type Stats struct {
 	// MPIRetries counts timed-out-and-resent wire transfers; nonzero only
 	// with Options.SendTimeout.
 	MPIRetries int
+
+	// Checkpoints, Rollbacks, and MigratedSubs summarize the recovery layer
+	// (recover.go); all zero unless Options.CheckpointEvery > 0.
+	Checkpoints  int
+	Rollbacks    int
+	MigratedSubs int
+	// RecoveryEvents is the recovery timeline: checkpoints taken, failures
+	// detected, rollbacks, migrations, and resumes.
+	RecoveryEvents []RecoveryRecord
 }
 
 func newStats(e *Exchanger, times []sim.Time) *Stats {
@@ -40,6 +49,12 @@ func newStats(e *Exchanger, times []sim.Time) *Stats {
 	}
 	if e.Faults != nil {
 		s.FaultLog = e.Faults.Log()
+	}
+	if rc := e.rec; rc != nil {
+		s.Checkpoints = rc.epoch
+		s.Rollbacks = rc.rollbacks
+		s.MigratedSubs = rc.migrated
+		s.RecoveryEvents = e.RecoveryLog
 	}
 	for _, p := range e.Plans {
 		s.MethodCount[p.Method]++

@@ -18,6 +18,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/nodeaware/stencil/internal/cudart"
 	"github.com/nodeaware/stencil/internal/flownet"
@@ -46,6 +47,17 @@ const (
 	GPUStraggle
 	// RankPause occupies the target rank's MPI progress engine for Duration.
 	RankPause
+	// GPUFail permanently kills device A of the target node. Fail-stop: the
+	// device's in-flight virtual-time work completes (real clusters learn of
+	// death via timeouts, not instantly), but any new allocation, stream, or
+	// peer enablement on it panics. Its links are NOT failed — residual
+	// trickle flows would distort the clock; the loss is discovered by the
+	// exchange recovery layer at its next consistency point.
+	GPUFail
+	// RankFail permanently kills global MPI rank A and every device it
+	// drives. The exchange recovery layer evicts the rank from collectives
+	// and re-places its subdomains on survivors.
+	RankFail
 	numKinds
 )
 
@@ -63,6 +75,10 @@ func (k Kind) String() string {
 		return "gpu-straggle"
 	case RankPause:
 		return "rank-pause"
+	case GPUFail:
+		return "gpu-fail"
+	case RankFail:
+		return "rank-fail"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -204,6 +220,56 @@ func (s *Scenario) PauseRank(t sim.Time, rank int, d sim.Time) *Scenario {
 		Target: Target{Kind: TargetRank, A: rank}})
 }
 
+// KillGPU permanently kills local GPU gpu of node at time t. There is no
+// recovery: the exchange layer must checkpoint (Options.CheckpointEvery) to
+// survive it.
+func (s *Scenario) KillGPU(t sim.Time, node, gpu int) *Scenario {
+	return s.Add(Event{At: t, Kind: GPUFail,
+		Target: Target{Node: node, Kind: TargetGPU, A: gpu}})
+}
+
+// KillRank permanently kills global MPI rank rank (and every GPU it drives)
+// at time t. No recovery; requires exchange checkpointing.
+func (s *Scenario) KillRank(t sim.Time, rank int) *Scenario {
+	return s.Add(Event{At: t, Kind: RankFail,
+		Target: Target{Kind: TargetRank, A: rank}})
+}
+
+// Validate statically checks the scenario without a machine: every event
+// must have a known Kind and non-negative At, Factor, and Duration.
+// Injector.Install runs it automatically (before the machine-shape checks);
+// callers composing scenarios programmatically can call it early for better
+// error locality.
+func (s *Scenario) Validate() error {
+	for i, ev := range s.Events {
+		if ev.Kind < 0 || ev.Kind >= numKinds {
+			return fmt.Errorf("fault: scenario %q event %d: unknown kind %d", s.Name, i, int(ev.Kind))
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("fault: scenario %q event %d: negative event time %g", s.Name, i, ev.At)
+		}
+		if ev.Factor < 0 {
+			return fmt.Errorf("fault: scenario %q event %d: negative factor %g", s.Name, i, ev.Factor)
+		}
+		if ev.Duration < 0 {
+			return fmt.Errorf("fault: scenario %q event %d: negative duration %g", s.Name, i, ev.Duration)
+		}
+	}
+	return nil
+}
+
+// HasFatal reports whether the scenario contains permanent-loss events
+// (GPUFail or RankFail), which require the exchange recovery layer
+// (Options.CheckpointEvery > 0) to survive.
+func (s *Scenario) HasFatal() bool {
+	for _, ev := range s.Events {
+		if ev.Kind == GPUFail || ev.Kind == RankFail {
+			return true
+		}
+	}
+	return false
+}
+
 // Record is one applied fault action, for timeline reports. Kind classifies
 // the action that was actually taken (a NICFlap event, for instance, records
 // a nic-flap action at outage start and a link-recover action at the end).
@@ -238,16 +304,28 @@ func NewInjector(m *machine.Machine, rt *cudart.Runtime, w *mpi.World) *Injector
 // Log returns the applied-fault timeline in application order.
 func (inj *Injector) Log() []Record { return inj.log }
 
-// Install validates every event against the machine shape and schedules the
-// scenario on the engine. It must be called before (or during) Engine.Run;
-// events in the past panic inside the engine as usual.
+// Install validates every event (Scenario.Validate plus the machine-shape
+// checks) and schedules the scenario on the engine. It must be called before
+// (or during) Engine.Run; events in the past panic inside the engine as
+// usual.
+//
+// Ordering contract: events apply in ascending At; events sharing the same
+// virtual timestamp apply in their Events-list (insertion) order. The sort
+// is stable, so the tie-break is an explicit guarantee scenario authors can
+// rely on — e.g. a LinkRecover inserted before a LinkDegrade at the same
+// instant always restores first.
 func (inj *Injector) Install(sc *Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
 	for i, ev := range sc.Events {
 		if err := inj.validate(ev); err != nil {
 			return fmt.Errorf("fault: scenario %q event %d: %w", sc.Name, i, err)
 		}
 	}
-	for _, ev := range sc.Events {
+	ordered := append([]Event(nil), sc.Events...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	for _, ev := range ordered {
 		ev := ev
 		inj.M.Eng.After(ev.At, func() { inj.apply(ev) })
 	}
@@ -322,6 +400,20 @@ func (inj *Injector) validate(ev Event) error {
 		}
 		if ev.Duration <= 0 {
 			return fmt.Errorf("flap outage %g <= 0", ev.Duration)
+		}
+	case GPUFail:
+		if tg.Kind != TargetGPU {
+			return fmt.Errorf("gpu-fail needs a GPU target, got %s", tg.Kind)
+		}
+	case RankFail:
+		if tg.Kind != TargetRank {
+			return fmt.Errorf("rank-fail needs a rank target, got %s", tg.Kind)
+		}
+		if inj.RT == nil {
+			return fmt.Errorf("rank-fail needs a CUDA runtime (it kills the rank's devices)")
+		}
+		if inj.W.Size()%len(inj.M.Nodes) != 0 {
+			return fmt.Errorf("ranks (%d) not evenly spread over nodes (%d)", inj.W.Size(), len(inj.M.Nodes))
 		}
 	}
 	if ev.Kind == LinkDegrade || ev.Kind == LinkFail || ev.Kind == LinkRecover || ev.Kind == NICFlap {
@@ -418,5 +510,22 @@ func (inj *Injector) apply(ev Event) {
 	case RankPause:
 		inj.W.Rank(ev.Target.A).PauseProgress(ev.Duration)
 		inj.record(RankPause, "pause %s for %gs", ev.Target, ev.Duration)
+
+	case GPUFail:
+		inj.RT.DeviceAt(ev.Target.Node, ev.Target.A).Fail()
+		inj.record(GPUFail, "permanent loss of %s", ev.Target)
+
+	case RankFail:
+		r := inj.W.Rank(ev.Target.A)
+		r.Fail()
+		// The rank's process is gone, so every device it was driving is
+		// lost with it.
+		rpn := inj.W.Size() / len(inj.M.Nodes)
+		gpr := inj.M.Nodes[r.Node].Config.GPUs() / rpn
+		lo := (ev.Target.A % rpn) * gpr
+		for g := lo; g < lo+gpr; g++ {
+			inj.RT.DeviceAt(r.Node, g).Fail()
+		}
+		inj.record(RankFail, "permanent loss of %s (GPUs %d-%d of node %d)", ev.Target, lo, lo+gpr-1, r.Node)
 	}
 }

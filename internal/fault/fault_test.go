@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/nodeaware/stencil/internal/cudart"
@@ -213,5 +214,158 @@ func TestScenarioDeterminism(t *testing.T) {
 	}
 	if log1 == "" {
 		t.Error("empty fault log")
+	}
+}
+
+// TestScenarioValidate covers the standalone scenario validator: structural
+// problems (negative times, factors, durations, unknown kinds) are rejected
+// without needing an injector or a machine.
+func TestScenarioValidate(t *testing.T) {
+	good := (&Scenario{Name: "ok"}).
+		DegradeNIC(1, 0, 0.25).
+		KillGPU(2, 0, 3).
+		KillRank(3, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected a well-formed scenario: %v", err)
+	}
+	cases := []struct {
+		name string
+		sc   *Scenario
+	}{
+		{"negative time", (&Scenario{}).Add(Event{At: -1, Kind: NICFlap, Duration: 1,
+			Target: Target{Kind: TargetNIC}})},
+		{"negative factor", (&Scenario{}).Add(Event{At: 1, Kind: LinkDegrade, Factor: -0.5,
+			Target: Target{Kind: TargetNIC}})},
+		{"negative duration", (&Scenario{}).Add(Event{At: 1, Kind: NICFlap, Duration: -2,
+			Target: Target{Kind: TargetNIC}})},
+		{"kind out of range", (&Scenario{}).Add(Event{At: 1, Kind: Kind(99),
+			Target: Target{Kind: TargetNIC}})},
+		{"negative kind", (&Scenario{}).Add(Event{At: 1, Kind: Kind(-1),
+			Target: Target{Kind: TargetNIC}})},
+	}
+	for _, c := range cases {
+		if err := c.sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad scenario", c.name)
+		}
+	}
+	// Install runs Validate first: a structurally bad event is rejected with
+	// the same error even when target validation would also fail.
+	_, m, rt, w := rig(1, 2)
+	inj := NewInjector(m, rt, w)
+	if err := inj.Install(cases[1].sc); err == nil {
+		t.Error("Install accepted a scenario Validate rejects")
+	}
+}
+
+// TestHasFatal: only GPUFail and RankFail make a scenario fatal.
+func TestHasFatal(t *testing.T) {
+	if (&Scenario{}).DegradeNIC(1, 0, 0.5).KillNVLink(2, 0, 0, 1, 0).HasFatal() {
+		t.Error("non-fatal scenario reported fatal")
+	}
+	if !(&Scenario{}).KillGPU(1, 0, 0).HasFatal() {
+		t.Error("KillGPU scenario not reported fatal")
+	}
+	if !(&Scenario{}).KillRank(1, 0).HasFatal() {
+		t.Error("KillRank scenario not reported fatal")
+	}
+}
+
+// TestSameTimestampStableOrder: events that share a timestamp apply in
+// insertion order — a documented contract (Install sorts stably by At), so
+// e.g. a degrade-then-kill pair at the same instant behaves predictably.
+func TestSameTimestampStableOrder(t *testing.T) {
+	eng, m, rt, w := rig(1, 2)
+	inj := NewInjector(m, rt, w)
+	// Three same-time events in a deliberately non-monotonic surrounding
+	// order; the log must show t=1 first, then the t=2 triple in insertion
+	// order, regardless of how the sort shuffles equal keys.
+	sc := (&Scenario{Name: "ties"}).
+		StraggleGPU(2, 0, 0, 2, 0).
+		DegradeNIC(1, 0, 0.5).
+		StraggleGPU(2, 0, 1, 3, 0).
+		StraggleGPU(2, 0, 2, 4, 0)
+	if err := inj.Install(sc); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	log := inj.Log()
+	if len(log) != 4 {
+		t.Fatalf("log entries: got %d want 4: %v", len(log), log)
+	}
+	wantAt := []sim.Time{1, 2, 2, 2}
+	for i, at := range wantAt {
+		if log[i].At != at {
+			t.Errorf("log[%d].At = %g, want %g", i, log[i].At, at)
+		}
+	}
+	// Insertion order within the t=2 tie: GPU 0, then 1, then 2.
+	for i, gpu := range []int{0, 1, 2} {
+		if got := rt.DeviceAt(0, gpu).SlowFactor(); got != float64(gpu+2) {
+			t.Errorf("GPU %d slow factor %g, want %d", gpu, got, gpu+2)
+		}
+		if want := fmt.Sprintf("gpu.%d", gpu); !strings.Contains(log[i+1].Desc, want) {
+			t.Errorf("log[%d] = %q, want mention of %q (stable tie order)", i+1, log[i+1].Desc, want)
+		}
+	}
+}
+
+// TestFatalKinds: GPUFail marks the device dead (leaving its links up);
+// RankFail marks the rank failed and kills every device it drives.
+func TestFatalKinds(t *testing.T) {
+	eng, m, rt, w := rig(1, 2)
+	inj := NewInjector(m, rt, w)
+	sc := (&Scenario{Name: "fatal"}).KillGPU(1, 0, 5).KillRank(2, 0)
+	if err := inj.Install(sc); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(1.5, func() {
+		if !rt.DeviceAt(0, 5).Dead() {
+			t.Error("GPU 5 not dead after GPUFail")
+		}
+		if rt.DeviceAt(0, 4).Dead() {
+			t.Error("GPU 4 dead without a fault")
+		}
+		if w.Rank(0).Failed() {
+			t.Error("rank 0 failed before its event")
+		}
+		// Fail-stop: the dead GPU's links stay up (the fabric survives).
+		for _, l := range m.Nodes[0].IntraLinks() {
+			if l.Down() {
+				t.Errorf("link %s down after GPUFail", l.Name)
+			}
+		}
+	})
+	eng.At(2.5, func() {
+		if !w.Rank(0).Failed() {
+			t.Error("rank 0 not failed after RankFail")
+		}
+		// Rank 0 of 2 ranks/node drives GPUs 0-2.
+		for g := 0; g < 3; g++ {
+			if !rt.DeviceAt(0, g).Dead() {
+				t.Errorf("GPU %d not dead after its rank failed", g)
+			}
+		}
+		if rt.DeviceAt(0, 3).Dead() {
+			t.Error("GPU 3 (other rank) dead after rank 0 failed")
+		}
+	})
+	eng.Run()
+	if len(inj.Log()) != 2 {
+		t.Fatalf("log entries: got %d want 2: %v", len(inj.Log()), inj.Log())
+	}
+}
+
+// TestFatalTargetValidation: fatal events still go through target checks.
+func TestFatalTargetValidation(t *testing.T) {
+	_, m, rt, w := rig(1, 2)
+	for name, sc := range map[string]*Scenario{
+		"gpu out of range":  (&Scenario{}).KillGPU(1, 0, 6),
+		"node out of range": (&Scenario{}).KillGPU(1, 3, 0),
+		"rank out of range": (&Scenario{}).KillRank(1, 2),
+	} {
+		inj := NewInjector(m, rt, w)
+		if err := inj.Install(sc); err == nil {
+			t.Errorf("%s: Install accepted a bad fatal event", name)
+		}
 	}
 }

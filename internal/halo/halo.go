@@ -269,6 +269,49 @@ func (d *Domain) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// Snapshot deep-copies the domain's complete backing store (all quantities,
+// interior and halo) into dst, reusing dst's allocations when the shapes
+// match, and returns the snapshot. Time-only domains return nil. The
+// exchange layer's checkpoint scheduler calls this at the virtual completion
+// time of the checkpoint's D2H copy, so the snapshot captures exactly the
+// state the copy would have carried.
+func (d *Domain) Snapshot(dst [][]byte) [][]byte {
+	if d.data == nil {
+		return nil
+	}
+	if len(dst) != len(d.data) {
+		dst = make([][]byte, len(d.data))
+	}
+	for q, src := range d.data {
+		if len(dst[q]) != len(src) {
+			dst[q] = make([]byte, len(src))
+		}
+		copy(dst[q], src)
+	}
+	return dst
+}
+
+// Restore overwrites the backing store from a Snapshot result — interior
+// and halo both, so any corruption from a rolled-back iteration is wiped.
+// Time-only domains ignore the (nil) snapshot; a shape mismatch panics.
+func (d *Domain) Restore(snap [][]byte) {
+	if d.data == nil {
+		if snap != nil {
+			panic("halo: Restore of a real snapshot into a time-only domain")
+		}
+		return
+	}
+	if len(snap) != len(d.data) {
+		panic(fmt.Sprintf("halo: Restore quantity mismatch: snapshot %d, domain %d", len(snap), len(d.data)))
+	}
+	for q, src := range snap {
+		if len(src) != len(d.data[q]) {
+			panic(fmt.Sprintf("halo: Restore size mismatch on quantity %d: snapshot %d, domain %d", q, len(src), len(d.data[q])))
+		}
+		copy(d.data[q], src)
+	}
+}
+
 // MaxHaloBytes returns the largest single-direction message size across the
 // given directions; the exchange layer sizes its staging buffers with this.
 func (d *Domain) MaxHaloBytes(dirs []part.Dim3) int64 {

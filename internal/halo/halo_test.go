@@ -309,3 +309,67 @@ func TestHaloBytesDecompositionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSnapshotRestore: a snapshot taken at one state restores interiors AND
+// halos byte-exactly after both were overwritten.
+func TestSnapshotRestore(t *testing.T) {
+	d := NewDomain(part.Dim3{X: 6, Y: 5, Z: 4}, 1, 2, 4, true)
+	for q := 0; q < 2; q++ {
+		fill(d, q, func(x, y, z int) uint32 { return enc(x, y, z) + uint32(q)<<24 })
+	}
+	snap := d.Snapshot(nil)
+	// Corrupt everything, including the halo ring.
+	for q := 0; q < 2; q++ {
+		fill(d, q, func(x, y, z int) uint32 { return 0xdeadbeef })
+	}
+	d.Restore(snap)
+	for q := 0; q < 2; q++ {
+		r := d.Radius
+		for z := -r; z < d.Size.Z+r; z++ {
+			for y := -r; y < d.Size.Y+r; y++ {
+				for x := -r; x < d.Size.X+r; x++ {
+					if got, want := read(d, q, x, y, z), enc(x, y, z)+uint32(q)<<24; got != want {
+						t.Fatalf("q%d (%d,%d,%d): got %#x want %#x", q, x, y, z, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotReuse: passing the previous snapshot back in reuses its
+// backing storage instead of reallocating.
+func TestSnapshotReuse(t *testing.T) {
+	d := NewDomain(part.Dim3{X: 4, Y: 4, Z: 4}, 1, 1, 4, true)
+	fill(d, 0, enc)
+	s1 := d.Snapshot(nil)
+	fill(d, 0, func(x, y, z int) uint32 { return enc(x, y, z) + 1 })
+	s2 := d.Snapshot(s1)
+	if &s2[0][0] != &s1[0][0] {
+		t.Error("Snapshot reallocated despite matching shape")
+	}
+	d.Restore(s2)
+	if got := read(d, 0, 0, 0, 0); got != enc(0, 0, 0)+1 {
+		t.Errorf("restored value %#x, want %#x", got, enc(0, 0, 0)+1)
+	}
+}
+
+// TestSnapshotTimeOnly: without real data both operations are no-ops.
+func TestSnapshotTimeOnly(t *testing.T) {
+	d := NewDomain(part.Dim3{X: 4, Y: 4, Z: 4}, 1, 1, 4, false)
+	if snap := d.Snapshot(nil); snap != nil {
+		t.Errorf("time-only Snapshot returned %v, want nil", snap)
+	}
+	d.Restore(nil) // must not panic
+}
+
+// TestRestoreShapeMismatchPanics: restoring a wrong-shaped snapshot is a bug.
+func TestRestoreShapeMismatchPanics(t *testing.T) {
+	d := NewDomain(part.Dim3{X: 4, Y: 4, Z: 4}, 1, 2, 4, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("Restore accepted a wrong-shaped snapshot")
+		}
+	}()
+	d.Restore([][]byte{{1, 2, 3}})
+}

@@ -60,6 +60,12 @@ type World struct {
 	barrierCount int
 	barrierSig   *sim.Signal
 	collectives  *coll
+
+	// active counts ranks still participating in barriers and allreduces;
+	// deactivated marks ranks evicted by the recovery layer after a
+	// permanent failure.
+	active      int
+	deactivated []bool
 }
 
 // Rank is one MPI process.
@@ -70,6 +76,8 @@ type Rank struct {
 	Socket int
 	// progress is the rank's serial MPI progress engine.
 	progress *sim.Resource
+	// failed marks the rank's process as permanently dead (fault.RankFail).
+	failed bool
 	// copyEngine bounds the rank's shared-memory copy rate to one core's
 	// memcpy bandwidth; recruiting more ranks recruits more copy engines.
 	copyEngine *flownet.Link
@@ -109,6 +117,8 @@ func NewWorld(m *machine.Machine, rt *cudart.Runtime, ranksPerNode int, cudaAwar
 			w.ranks = append(w.ranks, r)
 		}
 	}
+	w.active = len(w.ranks)
+	w.deactivated = make([]bool, len(w.ranks))
 	return w
 }
 
@@ -117,6 +127,42 @@ func (w *World) Size() int { return len(w.ranks) }
 
 // Rank returns rank id.
 func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// Fail marks the rank's process permanently dead (fail-stop). The rank may
+// keep "executing" in virtual time until the failure is detected — the
+// zombie window — so messaging still works; the recovery layer converts the
+// flag into a Deactivate at its next consistency point.
+func (r *Rank) Fail() { r.failed = true }
+
+// Failed reports whether Fail has been called.
+func (r *Rank) Failed() bool { return r.failed }
+
+// Deactivate evicts a rank from the collectives: subsequent Barrier and
+// Allreducer calls complete once every *active* rank has arrived, and the
+// evicted rank must not call them (or Isend/Irecv) again. It must be called
+// at a point where no rank is parked inside a barrier or allreduce —
+// between iterations, at the exchange layer's recovery line. The tree
+// collectives in collectives.go still span the full world and cannot be
+// used after a deactivation.
+func (w *World) Deactivate(id int) {
+	if w.deactivated[id] {
+		return
+	}
+	if w.barrierCount != 0 {
+		panic(fmt.Sprintf("mpi: Deactivate(%d) with %d ranks parked in a barrier", id, w.barrierCount))
+	}
+	w.deactivated[id] = true
+	w.active--
+	if w.active < 1 {
+		panic("mpi: every rank deactivated")
+	}
+}
+
+// Deactivated reports whether the rank has been evicted from collectives.
+func (w *World) Deactivated(id int) bool { return w.deactivated[id] }
+
+// ActiveSize returns the number of ranks still participating in collectives.
+func (w *World) ActiveSize() int { return w.active }
 
 // Wtime returns the current virtual time (MPI_Wtime).
 func (w *World) Wtime() sim.Time { return w.M.Eng.Now() }
@@ -151,6 +197,7 @@ func Waitall(p *sim.Proc, reqs ...*Request) {
 // the given tag. The buffer may be a pinned host buffer or, when the world
 // is CUDA-aware, a device buffer.
 func (r *Rank) Isend(dst, tag int, buf *cudart.Buffer, off, bytes int64) *Request {
+	r.checkDeactivated(dst)
 	r.checkBuf(buf)
 	req := &Request{
 		done:   sim.NewSignal(r.world.M.Eng, fmt.Sprintf("send %d->%d tag %d", r.ID, dst, tag)),
@@ -175,6 +222,7 @@ func (r *Rank) Isend(dst, tag int, buf *cudart.Buffer, off, bytes int64) *Reques
 // Irecv posts a non-blocking receive into buf[off:] from rank src with the
 // given tag.
 func (r *Rank) Irecv(src, tag int, buf *cudart.Buffer, off, bytes int64) *Request {
+	r.checkDeactivated(src)
 	r.checkBuf(buf)
 	req := &Request{
 		done:  sim.NewSignal(r.world.M.Eng, fmt.Sprintf("recv %d<-%d tag %d", r.ID, src, tag)),
@@ -202,6 +250,20 @@ func (r *Rank) PauseProgress(d sim.Time) {
 	r.world.M.Eng.Spawn(fmt.Sprintf("rank%d.pause", r.ID), func(p *sim.Proc) {
 		r.progress.Use(p, func() { p.Sleep(d) })
 	})
+}
+
+// checkDeactivated panics when either endpoint of a message has been evicted
+// by the recovery layer: post-recovery transfer plans must never reference a
+// dead rank, so any such message is a bug surfaced immediately. (A *failed*
+// but not-yet-deactivated rank may still message — that is the zombie
+// window before detection.)
+func (r *Rank) checkDeactivated(peer int) {
+	if r.world.deactivated[r.ID] {
+		panic(fmt.Sprintf("mpi: message posted by deactivated rank %d", r.ID))
+	}
+	if r.world.deactivated[peer] {
+		panic(fmt.Sprintf("mpi: rank %d posted a message to deactivated rank %d", r.ID, peer))
+	}
 }
 
 func (r *Rank) checkBuf(buf *cudart.Buffer) {
@@ -403,10 +465,10 @@ func (w *World) Barrier(p *sim.Proc) {
 	}
 	w.barrierCount++
 	sig := w.barrierSig
-	if w.barrierCount == len(w.ranks) {
+	if w.barrierCount == w.active {
 		w.barrierCount = 0
 		w.barrierSig = nil
-		lat := w.M.Params.MPIInterLatency * sim.Time(math.Ceil(math.Log2(float64(len(w.ranks)))+1))
+		lat := w.M.Params.MPIInterLatency * sim.Time(math.Ceil(math.Log2(float64(w.active))+1))
 		w.M.Eng.After(lat, sig.Fire)
 		sig.Wait(p)
 		return
@@ -443,9 +505,9 @@ func (a *Allreducer) MaxFloat(p *sim.Proc, v float64) float64 {
 	if v > st.max {
 		st.max = v
 	}
-	if st.count == len(a.w.ranks) {
+	if st.count == a.w.active {
 		a.st = nil
-		lat := a.w.M.Params.MPIInterLatency * sim.Time(math.Ceil(math.Log2(float64(len(a.w.ranks)))+1))
+		lat := a.w.M.Params.MPIInterLatency * sim.Time(math.Ceil(math.Log2(float64(a.w.active))+1))
 		a.w.M.Eng.After(lat, st.sig.Fire)
 	}
 	st.sig.Wait(p)

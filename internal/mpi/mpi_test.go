@@ -429,3 +429,106 @@ func TestWtimeAdvances(t *testing.T) {
 		t.Errorf("Wtime delta = %g, want 0.25", t1-t0)
 	}
 }
+
+// TestDeactivate: evicting ranks shrinks the collectives to the survivors
+// and bars the dead ranks from messaging.
+func TestDeactivate(t *testing.T) {
+	e, _, w := setup(1, 6, false, false)
+	if w.ActiveSize() != 6 {
+		t.Fatalf("ActiveSize = %d, want 6", w.ActiveSize())
+	}
+	w.Deactivate(2)
+	w.Deactivate(2) // idempotent
+	w.Deactivate(4)
+	if w.ActiveSize() != 4 {
+		t.Errorf("ActiveSize = %d, want 4", w.ActiveSize())
+	}
+	if !w.Deactivated(2) || !w.Deactivated(4) || w.Deactivated(0) {
+		t.Error("Deactivated flags wrong")
+	}
+	// A barrier over the four survivors completes.
+	done := 0
+	for r := 0; r < 6; r++ {
+		if w.Deactivated(r) {
+			continue
+		}
+		e.Spawn("rank", func(p *sim.Proc) {
+			w.Barrier(p)
+			done++
+		})
+	}
+	e.Run()
+	if done != 4 {
+		t.Errorf("%d survivors passed the barrier, want 4", done)
+	}
+}
+
+// TestDeactivatedMessagingPanics: Isend/Irecv touching a deactivated rank is
+// a protocol bug and must fail loudly.
+func TestDeactivatedMessagingPanics(t *testing.T) {
+	_, rt, w := setup(1, 6, false, false)
+	w.Deactivate(3)
+	buf := rt.MallocHost(0, 0, 64)
+	for name, fn := range map[string]func(){
+		"send from dead": func() { w.Rank(3).Isend(0, 1, buf, 0, 64) },
+		"send to dead":   func() { w.Rank(0).Isend(3, 1, buf, 0, 64) },
+		"recv on dead":   func() { w.Rank(3).Irecv(0, 1, buf, 0, 64) },
+		"recv from dead": func() { w.Rank(0).Irecv(3, 1, buf, 0, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFailedRankStillMessages: Fail alone (detection not yet run) leaves
+// messaging working — the zombie window between death and eviction.
+func TestFailedRankStillMessages(t *testing.T) {
+	e, rt, w := setup(1, 2, false, false)
+	w.Rank(1).Fail()
+	if !w.Rank(1).Failed() {
+		t.Fatal("Failed() false after Fail")
+	}
+	if w.Deactivated(1) {
+		t.Fatal("Fail must not deactivate; that is the recovery layer's job")
+	}
+	src := rt.MallocHost(0, 0, 64)
+	dst := rt.MallocHost(0, 1, 64)
+	delivered := false
+	e.Spawn("send", func(p *sim.Proc) { w.Rank(1).Isend(0, 9, src, 0, 64).Wait(p) })
+	e.Spawn("recv", func(p *sim.Proc) {
+		w.Rank(0).Irecv(1, 9, dst, 0, 64).Wait(p)
+		delivered = true
+	})
+	e.Run()
+	if !delivered {
+		t.Error("zombie rank's message not delivered")
+	}
+}
+
+// TestBarrierLatencyShrinks: the log2 barrier cost follows the active count.
+func TestBarrierLatencyShrinks(t *testing.T) {
+	elapsed := func(deactivate int) sim.Time {
+		e, _, w := setup(1, 6, false, false)
+		for r := 0; r < deactivate; r++ {
+			w.Deactivate(5 - r)
+		}
+		for r := 0; r < w.Size(); r++ {
+			if w.Deactivated(r) {
+				continue
+			}
+			e.Spawn("rank", func(p *sim.Proc) { w.Barrier(p) })
+		}
+		e.Run()
+		return e.Now()
+	}
+	full, shrunk := elapsed(0), elapsed(4)
+	if shrunk >= full {
+		t.Errorf("barrier over 2 ranks (%.3g) not faster than over 6 (%.3g)", shrunk, full)
+	}
+}

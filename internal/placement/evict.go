@@ -1,0 +1,105 @@
+package placement
+
+// This file implements eviction-aware re-placement: after a permanent device
+// loss the recovery layer re-runs phase 2 over the *surviving* capability
+// matrix. Unlike the setup-time QAP, the result need not be a bijection —
+// with fewer GPUs than subdomains, survivors multi-occupy — and subdomains
+// whose device survived must stay put, because moving them would charge
+// migration traffic for no benefit. Only the orphans are re-placed.
+
+import "fmt"
+
+// PlaceEvict re-places one node's subdomains after device loss. cur[i] is
+// subdomain i's current GPU; cur[i] == -1 marks a subdomain that has already
+// migrated off this node (it is left alone and contributes no cost).
+// alive[g] marks surviving GPUs. Subdomains on surviving GPUs keep their
+// placement; each orphan — a subdomain whose cur GPU is dead — is assigned,
+// in ascending subdomain order, to the surviving GPU with the lowest
+// occupancy, breaking ties by the marginal QAP cost of the move against the
+// mapping built so far, then by lowest GPU index. The greedy order makes the
+// result deterministic. Returns the new mapping and its cost, or an error
+// when no GPU survives.
+func PlaceEvict(w, d [][]float64, cur []int, alive []bool) ([]int, float64, error) {
+	if len(w) != len(cur) {
+		panic(fmt.Sprintf("placement: flow %d and mapping %d dimensions differ", len(w), len(cur)))
+	}
+	f := append([]int(nil), cur...)
+	occ := make([]int, len(alive))
+	for _, g := range f {
+		if g >= 0 && alive[g] {
+			occ[g]++
+		}
+	}
+	for i, g := range f {
+		if g < 0 || alive[g] {
+			continue
+		}
+		best, bestCost := -1, 0.0
+		for c := range alive {
+			if !alive[c] {
+				continue
+			}
+			mc := marginalCost(w, d, f, i, c)
+			if best < 0 || occ[c] < occ[best] ||
+				(occ[c] == occ[best] && mc < bestCost) {
+				best, bestCost = c, mc
+			}
+		}
+		if best < 0 {
+			return nil, 0, fmt.Errorf("placement: no surviving GPU to evict subdomain %d onto", i)
+		}
+		f[i] = best
+		occ[best]++
+	}
+	return f, CostEvict(w, d, f), nil
+}
+
+// marginalCost is the QAP objective contribution of placing subdomain i on
+// GPU g given the (partial) mapping f. Terms against other orphans still on
+// dead GPUs use the dead GPU's distances — a deterministic approximation
+// that resolves as the greedy pass proceeds. Off-node subdomains (f[j] < 0)
+// contribute nothing.
+func marginalCost(w, d [][]float64, f []int, i, g int) float64 {
+	var c float64
+	for j := range w {
+		if j == i || f[j] < 0 {
+			continue
+		}
+		c += w[i][j]*d[g][f[j]] + w[j][i]*d[f[j]][g]
+	}
+	return c
+}
+
+// CostEvict evaluates the QAP objective for a possibly non-bijective mapping,
+// skipping off-node subdomains (f[i] < 0). Co-located subdomains contribute
+// zero, like the distance matrix's diagonal.
+func CostEvict(w, d [][]float64, f []int) float64 {
+	var c float64
+	for i := range w {
+		for j := range w[i] {
+			if i == j || f[i] < 0 || f[j] < 0 {
+				continue
+			}
+			c += w[i][j] * d[f[i]][f[j]]
+		}
+	}
+	return c
+}
+
+// EvictAssignment wraps a (generally non-bijective) eviction mapping in an
+// Assignment without NewAssignment's permutation check. GPUToSub holds the
+// lowest-indexed occupant of each GPU, or -1 for a GPU with none (dead, or
+// vacated by eviction).
+func EvictAssignment(f []int, cost float64) *Assignment {
+	inv := make([]int, len(f))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for s, g := range f {
+		if g >= 0 && g < len(inv) && inv[g] < 0 {
+			inv[g] = s
+		}
+	}
+	out := append([]int(nil), f...)
+	return &Assignment{SubToGPU: out, GPUToSub: inv, Cost: cost}
+}

@@ -288,3 +288,148 @@ func almostEq(a, b float64) bool {
 	}
 	return diff <= 1e-9*scale
 }
+
+// uniformEvictCase builds a tiny symmetric QAP instance for eviction tests:
+// 4 subdomains, ring flow, uniform distances except the diagonal.
+func uniformEvictCase() (w, d [][]float64) {
+	n := 4
+	w = make([][]float64, n)
+	d = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, n)
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				d[i][j] = 1
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		w[i][j], w[j][i] = 1, 1
+	}
+	return w, d
+}
+
+// TestPlaceEvictKeepsSurvivors: survivors stay put; only the orphan moves,
+// to the least-occupied surviving GPU.
+func TestPlaceEvictKeepsSurvivors(t *testing.T) {
+	w, d := uniformEvictCase()
+	cur := []int{0, 1, 2, 3}
+	alive := []bool{true, true, true, false} // GPU 3 died
+	f, cost, err := PlaceEvict(w, d, cur, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if f[i] != cur[i] {
+			t.Errorf("survivor %d moved: %d -> %d", i, cur[i], f[i])
+		}
+	}
+	if f[3] == 3 || !alive[f[3]] {
+		t.Errorf("orphan placed on %d, want a surviving GPU", f[3])
+	}
+	if want := CostEvict(w, d, f); cost != want {
+		t.Errorf("returned cost %g != recomputed %g", cost, want)
+	}
+}
+
+// TestPlaceEvictDeterministicTieBreak: with symmetric occupancy and cost the
+// lowest GPU index wins, and repeated runs agree.
+func TestPlaceEvictDeterministicTieBreak(t *testing.T) {
+	w, d := uniformEvictCase()
+	// Everything is symmetric for the orphan from subdomain 0's view.
+	cur := []int{0, 1, 2, 3}
+	alive := []bool{false, true, true, true}
+	f1, _, err := PlaceEvict(w, d, cur, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _, _ := PlaceEvict(w, d, cur, alive)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("non-deterministic eviction: %v vs %v", f1, f2)
+		}
+	}
+	// Cost ties (uniform distance, equal occupancy): the orphan of GPU 0
+	// must land on the lowest-indexed survivor.
+	if f1[0] != 1 {
+		t.Errorf("orphan went to GPU %d, want 1 (lowest-index tie break)", f1[0])
+	}
+}
+
+// TestPlaceEvictPrefersLowOccupancy: a second loss spreads orphans across
+// distinct survivors before doubling anyone up.
+func TestPlaceEvictPrefersLowOccupancy(t *testing.T) {
+	w, d := uniformEvictCase()
+	cur := []int{0, 1, 2, 3}
+	alive := []bool{true, true, false, false}
+	f, _, err := PlaceEvict(w, d, cur, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := map[int]int{}
+	for _, g := range f {
+		occ[g]++
+	}
+	if occ[0] != 2 || occ[1] != 2 {
+		t.Errorf("occupancy %v, want 2 on each survivor", occ)
+	}
+}
+
+// TestPlaceEvictPinnedAndMinimizesCost: cur[i] == -1 entries are pinned
+// off-node and ignored; among equal-occupancy candidates the marginal QAP
+// cost decides.
+func TestPlaceEvictPinnedAndMinimizesCost(t *testing.T) {
+	w, d := uniformEvictCase()
+	// Make GPU 1 far from everything, GPU 0 close: the orphan exchanging
+	// with subdomain 3 (on GPU 3) should prefer GPU 0.
+	for j := 0; j < 4; j++ {
+		if j != 1 {
+			d[1][j], d[j][1] = 10, 10
+		}
+	}
+	cur := []int{-1, -1, 2, 3} // subs 0,1 already migrated off node
+	alive := []bool{true, true, false, true}
+	f, _, err := PlaceEvict(w, d, cur, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] != -1 || f[1] != -1 {
+		t.Errorf("pinned entries moved: %v", f)
+	}
+	if f[2] != 0 {
+		t.Errorf("orphan went to GPU %d, want 0 (cheaper marginal cost)", f[2])
+	}
+}
+
+// TestPlaceEvictNoSurvivors: all-dead nodes report an error so the caller
+// can fall back to cross-node migration.
+func TestPlaceEvictNoSurvivors(t *testing.T) {
+	w, d := uniformEvictCase()
+	if _, _, err := PlaceEvict(w, d, []int{0, 1, 2, 3}, []bool{false, false, false, false}); err == nil {
+		t.Error("PlaceEvict succeeded with no surviving GPU")
+	}
+}
+
+// TestEvictAssignment: non-bijective mappings wrap without the permutation
+// panic; GPUToSub keeps the lowest-indexed occupant and -1 for empty GPUs.
+func TestEvictAssignment(t *testing.T) {
+	a := EvictAssignment([]int{0, 1, 1, -1}, 7)
+	if a.Cost != 7 {
+		t.Errorf("cost %g, want 7", a.Cost)
+	}
+	if got := a.GPUToSub; got[0] != 0 || got[1] != 1 || got[2] != -1 || got[3] != -1 {
+		t.Errorf("GPUToSub = %v, want [0 1 -1 -1]", got)
+	}
+}
+
+// TestCostEvictMatchesCostOnPermutations: on a bijection the eviction cost
+// equals the standard QAP objective.
+func TestCostEvictMatchesCostOnPermutations(t *testing.T) {
+	w, d := uniformEvictCase()
+	f := []int{2, 0, 3, 1}
+	if got, want := CostEvict(w, d, f), Cost(w, d, f); got != want {
+		t.Errorf("CostEvict %g != Cost %g on a permutation", got, want)
+	}
+}

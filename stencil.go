@@ -83,6 +83,10 @@ type (
 // AdaptRecord is one adaptation decision (a method switch or re-placement).
 type AdaptRecord = exchange.AdaptRecord
 
+// RecoveryRecord is one checkpoint/rollback/migration action of the
+// recovery layer; see Config.CheckpointEvery and RecoveryLog.
+type RecoveryRecord = exchange.RecoveryRecord
+
 // Telemetry is a unified virtual-time observability recorder: counters,
 // gauges, histograms, per-link utilization tracks, hierarchical phase spans,
 // and a structured event log, all keyed by simulated time and exportable as
@@ -193,6 +197,15 @@ type Config struct {
 	AdaptPlacement    bool
 	AdaptPersistTicks int
 
+	// CheckpointEvery > 0 snapshots every subdomain to host memory every K
+	// iterations (and once before the first) as real D2H traffic, and
+	// enables recovery from permanent GPU/rank loss (Fault scenarios with
+	// KillGPU/KillRank): on detection, every surviving rank rolls back to
+	// the last checkpoint, lost subdomains migrate to surviving GPUs, and
+	// the run replays — final results are byte-identical to a fault-free
+	// run. Required when the scenario contains fatal events. 0 disables.
+	CheckpointEvery int
+
 	// SendTimeout (seconds of virtual time) enables MPI-level retry: a
 	// wire transfer still in flight after the timeout is aborted and
 	// re-sent, up to SendRetries attempts (0 defaults to 8). 0 disables.
@@ -249,6 +262,7 @@ func New(cfg Config) (*DistributedDomain, error) {
 		AdaptCheckEvery:    cfg.AdaptCheckEvery,
 		AdaptPlacement:     cfg.AdaptPlacement,
 		AdaptPersistTicks:  cfg.AdaptPersistTicks,
+		CheckpointEvery:    cfg.CheckpointEvery,
 		SendTimeout:        sim.Time(cfg.SendTimeout),
 		SendRetries:        cfg.SendRetries,
 		Telemetry:          cfg.Telemetry,
@@ -309,6 +323,11 @@ func (dd *DistributedDomain) PlanInfos() []PlanInfo { return dd.ex.PlanInfos() }
 // AdaptLog returns the adaptation timeline recorded so far (method switches
 // and re-placements); empty unless Config.Adaptive.
 func (dd *DistributedDomain) AdaptLog() []AdaptRecord { return dd.ex.AdaptLog }
+
+// RecoveryLog returns the recovery timeline (checkpoints, detected
+// failures, rollbacks, migrations, resumes); empty unless
+// Config.CheckpointEvery > 0.
+func (dd *DistributedDomain) RecoveryLog() []RecoveryRecord { return dd.ex.RecoveryLog }
 
 // FaultLog returns the applied-fault timeline; empty unless Config.Fault.
 func (dd *DistributedDomain) FaultLog() []FaultRecord {
