@@ -179,6 +179,101 @@ func TestChaosRecovery(t *testing.T) {
 	}
 }
 
+// chaosLossyRun layers a lossy, corrupting network (drop/corrupt/dup 0.2 on
+// every node's NIC) on top of the fuzzed permanent-loss schedule, with a tight
+// retransmission budget so some deliveries exhaust the attempt cap and the
+// end-to-end verification layer has to repair them.
+func chaosLossyRun(t *testing.T, seed int64, workers int) (*DistributedDomain, *Stats, *Telemetry) {
+	t.Helper()
+	sc, desc := chaosSchedule(t, seed)
+	sc.Seed = uint64(seed)
+	for n := 0; n < 2; n++ {
+		sc.LossyNIC(0, n, 0.2, 0.2, 0.2)
+	}
+	cfg := chaosCfg(workers)
+	cfg.Fault = sc
+	cfg.SendRetries = 2
+	cfg.Telemetry = NewTelemetry()
+	dd, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed %d: lossy chaos, kill schedule: %s", seed, desc)
+	dd.Fill(chaosFill)
+	stats := dd.Exchange(chaosIters)
+	return dd, stats, cfg.Telemetry
+}
+
+// TestChaosLossy is the headline acceptance test for the delivery-fault layer:
+// every inter-node link drops, corrupts, and duplicates messages at p=0.2
+// while GPUs and ranks die permanently, yet the final halos are byte-identical
+// to a fault-free run, no corrupted quadrant survives, and the whole run —
+// protocol counters, spans, event log — is bit-identical across reruns and
+// payload worker counts.
+func TestChaosLossy(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, stats, tel := chaosRunLossyChecked(t, seed)
+
+			want, wantEv := spanFingerprint(tel), eventBytes(t, tel)
+			for _, workers := range []int{0, 3} {
+				dd2, stats2, tel2 := chaosLossyRun(t, seed, workers)
+				if stats2.Delivery != stats.Delivery {
+					t.Errorf("workers=%d: protocol counters differ: %+v vs %+v",
+						workers, stats2.Delivery, stats.Delivery)
+				}
+				if got := spanFingerprint(tel2); got != want {
+					t.Errorf("workers=%d: span fingerprint differs from first run", workers)
+				}
+				if got := eventBytes(t, tel2); !bytes.Equal(got, wantEv) {
+					t.Errorf("workers=%d: event log differs from first run", workers)
+				}
+				if bad, _ := dd2.VerifyHalos(chaosFill); bad != 0 {
+					t.Errorf("workers=%d: %d bad halo cells", workers, bad)
+				}
+			}
+		})
+	}
+}
+
+// chaosRunLossyChecked runs the first lossy chaos run of a seed and asserts
+// the scenario exercised everything it promises.
+func chaosRunLossyChecked(t *testing.T, seed int64) (*DistributedDomain, *Stats, *Telemetry) {
+	t.Helper()
+	dd, stats, tel := chaosLossyRun(t, seed, 0)
+
+	// Zero corrupted quadrants survive: halos byte-identical to fault-free.
+	if bad, detail := dd.VerifyHalos(chaosFill); bad != 0 {
+		t.Errorf("%d bad halo cells after lossy chaos: %s", bad, detail)
+	}
+
+	// Both fault families really fired.
+	fatal := 0
+	for _, r := range dd.FaultLog() {
+		if r.Kind == "gpu-fail" || r.Kind == "rank-fail" {
+			fatal++
+		}
+	}
+	if fatal == 0 {
+		t.Fatal("no fatal fault applied; chaos schedule is vacuous")
+	}
+	d := stats.Delivery
+	if d.Drops == 0 || d.Corrupts == 0 || d.Dups == 0 {
+		t.Fatalf("delivery faults not exercised: %+v", d)
+	}
+	if d.Retransmits == 0 {
+		t.Error("no retransmissions under 20%% loss")
+	}
+	if d.Exhausted > 0 && stats.ReExchanges == 0 && stats.ForcedRepairs == 0 {
+		t.Errorf("deliveries landed compromised (%d) but verification repaired nothing", d.Exhausted)
+	}
+	if stats.Rollbacks == 0 {
+		t.Error("no rollback performed despite fatal kills")
+	}
+	return dd, stats, tel
+}
+
 // TestChaosRecoveryCompute runs exchange+compute under a rank kill and
 // checks that rollback replay neither loses nor double-applies compute: every
 // interior cell must end at fill + steps exactly.

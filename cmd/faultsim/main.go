@@ -15,6 +15,15 @@
 //
 //	faultsim -nodes 2 -kill 0:1@2.5 -killrank 3@4.2 -verify
 //
+// Delivery faults make every node's NIC drop, corrupt, and duplicate
+// messages with the given probabilities (deterministically sampled from
+// -seed); they arm the MPI reliable-delivery envelope and, with -verify,
+// end-to-end halo verification. -flap toggles node 0's NIC periodically so
+// the link-health quarantine of the adaptive run is visible:
+//
+//	faultsim -nodes 2 -domain 24 -drop 0.15 -corrupt 0.15 -dup 0.1 -retries 3 -seed 7 -verify
+//	faultsim -nodes 2 -domain 24 -flap 4 -verify
+//
 // -metrics FILE writes the adaptive run's telemetry snapshot report and
 // -events FILE its structured NDJSON event log (faults, adaptations, MPI
 // retries, link samples, phase spans — all on the virtual clock); feed the
@@ -56,6 +65,12 @@ func run(args []string, out io.Writer) error {
 	cudaAware := fs.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
 	verify := fs.Bool("verify", false, "move real bytes and verify halos (small domains only)")
 	timeout := fs.Float64("send-timeout", 0, "MPI send timeout in seconds (0 disables retry)")
+	drop := fs.Float64("drop", 0, "per-message drop probability on every node's NIC (arms the reliable envelope)")
+	corrupt := fs.Float64("corrupt", 0, "per-message corruption probability on every node's NIC (combine with -verify to flip real bytes)")
+	dup := fs.Float64("dup", 0, "per-message duplication probability on every node's NIC")
+	flap := fs.Int("flap", 0, "flap node 0's NIC for this many periodic cycles (period: one healthy iteration, 50% duty)")
+	seed := fs.Uint64("seed", 1, "deterministic seed for delivery-fault sampling")
+	retries := fs.Int("retries", 0, "reliable-envelope attempt cap per message (0: default 8)")
 	metricsPath := fs.String("metrics", "", "write the adaptive run's telemetry snapshot report to this file")
 	eventsPath := fs.String("events", "", "write the adaptive run's telemetry event log (NDJSON) to this file")
 	checkpoint := fs.Int("checkpoint", 0,
@@ -90,6 +105,13 @@ func run(args []string, out io.Writer) error {
 	if len(kills) > 0 && *checkpoint == 0 {
 		*checkpoint = 2
 	}
+	scenarioSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "scenario" {
+			scenarioSet = true
+		}
+	})
+	lossy := *drop > 0 || *corrupt > 0 || *dup > 0
 
 	baseCfg := func(adaptive bool) stencil.Config {
 		return stencil.Config{
@@ -103,6 +125,7 @@ func run(args []string, out io.Writer) error {
 			RealData:        *verify,
 			Adaptive:        adaptive,
 			SendTimeout:     *timeout,
+			SendRetries:     *retries,
 			CheckpointEvery: *checkpoint,
 		}
 	}
@@ -137,9 +160,34 @@ func run(args []string, out io.Writer) error {
 		if err := sc.Validate(); err != nil {
 			return err
 		}
+	} else if (lossy || *flap > 0) && !scenarioSet {
+		// Pure delivery-fault run: no topology fault underneath.
+		*scenario = "lossy"
+		sc = &stencil.FaultScenario{Name: "lossy"}
+		desc = "clean topology"
 	} else {
 		sc, desc, err = buildScenario(*scenario, probe, failAt, outage, *factor)
 		if err != nil {
+			return err
+		}
+	}
+	if lossy || *flap > 0 {
+		sc.Seed = *seed
+		var parts []string
+		if lossy {
+			for n := 0; n < *nodes; n++ {
+				sc.LossyNIC(0, n, *drop, *corrupt, *dup)
+			}
+			parts = append(parts, fmt.Sprintf("every NIC drop=%g corrupt=%g dup=%g (seed %d)",
+				*drop, *corrupt, *dup, *seed))
+		}
+		if *flap > 0 {
+			sc.FlapNICPeriodic(failAt, 0, float64(healthy), 0.5, *flap)
+			parts = append(parts, fmt.Sprintf("NIC of node 0 flaps %d cycles of %.3f ms (50%% duty) from t=%.3f ms",
+				*flap, healthy*1e3, failAt*1e3))
+		}
+		desc += "; " + strings.Join(parts, "; ")
+		if err := sc.Validate(); err != nil {
 			return err
 		}
 	}
@@ -219,6 +267,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if statsA.MPIRetries > 0 || statsN.MPIRetries > 0 {
 		fmt.Fprintf(out, "MPI retries: %d non-adaptive, %d adaptive\n", statsN.MPIRetries, statsA.MPIRetries)
+	}
+
+	if lossy || *flap > 0 {
+		fmt.Fprintf(out, "\ndelivery protocol (adaptive run):\n")
+		d := statsA.Delivery
+		fmt.Fprintf(out, "  messages %d, retransmits %d, drops %d (+%d acks), corruptions %d, dups %d (deduped %d), nacks %d, exhausted %d\n",
+			d.Messages, d.Retransmits, d.Drops, d.AckDrops, d.Corrupts, d.Dups, d.Dedups, d.Nacks, d.Exhausted)
+		fmt.Fprintf(out, "  verification: %d quadrants re-exchanged over %d repair rounds, %d forced repairs\n",
+			statsA.ReExchanges, statsA.VerifyRounds, statsA.ForcedRepairs)
+		if statsA.QuarantineEnters > 0 || statsA.QuarantineExits > 0 {
+			fmt.Fprintf(out, "  link quarantine: %d enters, %d exits\n",
+				statsA.QuarantineEnters, statsA.QuarantineExits)
+		}
 	}
 
 	if *verify {

@@ -30,6 +30,8 @@ const (
 	OpMemcpyD2H
 	OpMemcpyH2D
 	OpMemcpyH2H // host-side staging copy (shared-memory or NIC delivery)
+	OpRetransmit
+	OpReExchange
 
 	// NumOpKinds is the number of OpKind values; glyph tables and other
 	// per-kind maps are tested for exhaustiveness against it.
@@ -48,6 +50,10 @@ func (k OpKind) String() string {
 		return "memcpyH2D"
 	case OpMemcpyH2H:
 		return "memcpyH2H"
+	case OpRetransmit:
+		return "retransmit"
+	case OpReExchange:
+		return "reexchange"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }

@@ -65,12 +65,12 @@ func (e *Exchanger) adaptPersist() int {
 	return e.Opts.AdaptPersistTicks
 }
 
-// linksHealthy reports whether every link on a path is up and above the
-// degradation threshold.
+// linksHealthy reports whether every link on a path is up, above the
+// degradation threshold, and not quarantined by the health monitor.
 func (e *Exchanger) linksHealthy(path []*flownet.Link) bool {
 	thr := e.adaptThreshold()
 	for _, l := range path {
-		if l.Down() || l.Health() < thr {
+		if l.Down() || l.Health() < thr || e.health.quarantined(l) {
 			return false
 		}
 	}
@@ -162,6 +162,9 @@ func (e *Exchanger) healthMask() string {
 		if l.Health() < thr {
 			b |= 2
 		}
+		if e.health.quarantined(l) {
+			b |= 4
+		}
 		return b
 	}
 	for _, pl := range e.Plans {
@@ -241,7 +244,14 @@ func (e *Exchanger) logAdapt(r AdaptRecord) {
 // Re-placement persistence tracking still runs every tick: degradeStreak
 // counts ticks, not health transitions.
 func (e *Exchanger) adaptTick(p *sim.Proc) {
-	if mut := e.M.Net.Mutations(); e.adaptSeen != mut+1 {
+	// The health monitor scores links and moves quarantine state first; a
+	// quarantine transition changes what selection observes without any flow-
+	// network mutation, so it forces a rescan on its own.
+	healthChanged := false
+	if e.health != nil {
+		healthChanged = e.health.tick()
+	}
+	if mut := e.M.Net.Mutations(); e.adaptSeen != mut+1 || healthChanged {
 		e.adaptSeen = mut + 1
 		e.respecialize()
 	}

@@ -181,6 +181,27 @@ type Options struct {
 	// to 8 (when SendTimeout is set).
 	SendRetries int
 
+	// Reliable forces the MPI reliable-delivery envelope for inter-node
+	// messages (checksums, sequence numbers, dedup, ACK/NACK with
+	// retransmission; see internal/mpi/reliable.go) even on a clean network.
+	// A fault scenario containing delivery faults (MsgDrop/MsgCorrupt/MsgDup)
+	// arms it automatically, seeded with the scenario's Seed.
+	Reliable bool
+
+	// VerifyExchange enables end-to-end halo verification: after each
+	// exchange, per-quadrant checksums are compared across the inter-node
+	// wire and damaged quadrants are selectively re-exchanged (see
+	// verify.go). Auto-enabled when the fault scenario schedules delivery
+	// faults; meaningful only with RealData.
+	VerifyExchange bool
+
+	// QuarantineTicks is the clean-window hysteresis of link quarantine: a
+	// quarantined link is re-admitted to method selection only after this
+	// many consecutive fault-free monitor ticks (and a decayed health
+	// score). 0 defaults to 5. Quarantine runs with Adaptive when the fault
+	// scenario contains delivery or flap faults, or when this is set > 0.
+	QuarantineTicks int
+
 	// FairnessHorizon bounds how far a bandwidth-rebalance propagates in the
 	// flow network (flownet.Network.MaxHops). 0 selects automatically: exact
 	// max-min fairness up to 32 nodes, a 1-hop horizon beyond (within 8% of
@@ -362,6 +383,14 @@ type Exchanger struct {
 	planPaths  []planPaths
 	methodMemo map[string][]Method
 
+	// health scores links and quarantines flapping ones (health.go); nil
+	// unless the options and fault scenario call for it.
+	health *healthMonitor
+
+	// verifier holds the end-to-end halo verification state (verify.go);
+	// nil unless delivery faults or Options.VerifyExchange enable it.
+	verifier *verifier
+
 	// Setup wall-clock costs (host-side, not simulated): the paper's §VI
 	// notes the placement algorithm should have negligible impact when
 	// properly implemented; these make that measurable.
@@ -439,8 +468,13 @@ func New(opts Options) (*Exchanger, error) {
 	w := mpi.NewWorld(m, rt, opts.RanksPerNode, opts.CUDAAware)
 	w.SendTimeout = opts.SendTimeout
 	w.SendRetries = opts.SendRetries
+	if opts.Reliable {
+		w.Reliable = true
+	}
 	if tel != nil {
 		w.OnRetry = tel.MPIRetry
+		w.OnRetryExhausted = tel.MPIRetryExhausted
+		w.OnProtocol = tel.MPIProtocol
 	}
 
 	var setupSpan *telemetry.Span
@@ -536,6 +570,13 @@ func New(opts Options) (*Exchanger, error) {
 
 	e.degradeStreak = make([]int, opts.Nodes)
 	e.replaceDone = make([]bool, opts.Nodes)
+	if opts.VerifyExchange || (opts.Fault != nil && opts.Fault.HasDelivery()) {
+		e.verifier = newVerifier(e)
+	}
+	if opts.Adaptive && (opts.QuarantineTicks > 0 ||
+		(opts.Fault != nil && (opts.Fault.HasDelivery() || opts.Fault.HasFlap()))) {
+		e.health = newHealthMonitor(e)
+	}
 	if tel != nil {
 		// One "plan" event per transfer plan records the setup-time method
 		// selection; the exchange_plans gauges track the live per-method

@@ -1,0 +1,146 @@
+package exchange
+
+import (
+	"fmt"
+
+	"github.com/nodeaware/stencil/internal/flownet"
+)
+
+// Link health scoring and quarantine (the flap-absorbing half of the
+// robustness layer). Every adaptation tick, each link the method selection
+// can observe is scored with an EWMA over a binary fault indicator: did the
+// link accumulate MPI-level faults (timeouts, drops, corruptions charged by
+// the reliable envelope), go down, or is it down right now. A link whose
+// score crosses the enter threshold is quarantined: method selection treats
+// it as unhealthy no matter what its instantaneous up/down state says, so a
+// flapping link cannot thrash plans between methods on every tick. The link
+// is re-admitted only after a clean window — quarantineTicks consecutive
+// fault-free ticks AND a decayed score — which bounds re-specialization to
+// one demotion and one promotion per quarantine episode.
+
+const (
+	healthAlpha     = 0.5 // EWMA weight of the newest indicator
+	quarantineEnter = 0.5 // score at or above which a link is quarantined
+	quarantineExit  = 0.1 // score at or below which re-admission is allowed
+)
+
+// linkHealth is one link's score and quarantine state.
+type linkHealth struct {
+	l           *flownet.Link
+	score       float64
+	lastFaults  int    // World.LinkFaults snapshot at the previous tick
+	lastDowns   uint64 // Link.DownCount snapshot at the previous tick
+	quarantined bool
+	cleanTicks  int // consecutive fault-free ticks while quarantined
+}
+
+// healthMonitor scores every link that phase-3 selection can observe.
+type healthMonitor struct {
+	e     *Exchanger
+	links []*linkHealth // deterministic registration order (plan order)
+	index map[*flownet.Link]*linkHealth
+
+	enters, exits int
+}
+
+func (e *Exchanger) quarantineTicks() int {
+	if e.Opts.QuarantineTicks < 1 {
+		return 5
+	}
+	return e.Opts.QuarantineTicks
+}
+
+// newHealthMonitor registers, in plan order, every link on a plan's candidate
+// paths plus its STAGED floor path (the NIC and staging hops a demoted plan
+// will cross). Registration order is deterministic, so the monitor's record
+// stream is bit-identical across reruns and worker counts.
+func newHealthMonitor(e *Exchanger) *healthMonitor {
+	hm := &healthMonitor{e: e, index: make(map[*flownet.Link]*linkHealth)}
+	add := func(links []*flownet.Link) {
+		for _, l := range links {
+			if _, ok := hm.index[l]; ok {
+				continue
+			}
+			lh := &linkHealth{l: l}
+			hm.index[l] = lh
+			hm.links = append(hm.links, lh)
+		}
+	}
+	for _, pl := range e.Plans {
+		pp := e.pathsOf(pl)
+		add(pp.p2p)
+		add(pp.ca)
+		if pl.Src.NodeID != pl.Dst.NodeID {
+			add(e.stagedLinks(pl))
+		}
+	}
+	return hm
+}
+
+// quarantined reports whether a link is currently quarantined; selection
+// treats such links as unhealthy regardless of live state.
+func (hm *healthMonitor) quarantined(l *flownet.Link) bool {
+	if hm == nil {
+		return false
+	}
+	lh, ok := hm.index[l]
+	return ok && lh.quarantined
+}
+
+// tick rescores every link and moves quarantine state; it reports whether
+// any link entered or left quarantine (which forces a re-specialization even
+// when the flow network itself saw no mutation).
+func (hm *healthMonitor) tick() bool {
+	e := hm.e
+	changed := false
+	for _, lh := range hm.links {
+		faults := e.W.LinkFaults(lh.l)
+		downs := lh.l.DownCount()
+		bad := faults > lh.lastFaults || downs > lh.lastDowns || lh.l.Down()
+		lh.lastFaults, lh.lastDowns = faults, downs
+		x := 0.0
+		if bad {
+			x = 1.0
+		}
+		lh.score = healthAlpha*x + (1-healthAlpha)*lh.score
+		switch {
+		case !lh.quarantined && lh.score >= quarantineEnter:
+			lh.quarantined = true
+			lh.cleanTicks = 0
+			hm.enters++
+			changed = true
+			hm.log(lh, "enter")
+		case lh.quarantined:
+			if bad {
+				lh.cleanTicks = 0
+			} else {
+				lh.cleanTicks++
+			}
+			if lh.cleanTicks >= e.quarantineTicks() && lh.score <= quarantineExit {
+				lh.quarantined = false
+				hm.exits++
+				changed = true
+				hm.log(lh, "exit")
+			}
+		}
+	}
+	return changed
+}
+
+func (hm *healthMonitor) log(lh *linkHealth, action string) {
+	e := hm.e
+	e.logAdapt(AdaptRecord{At: e.Eng.Now(), PlanID: -1,
+		Reason: fmt.Sprintf("link %s: quarantine %s (health score %.3f)", lh.l.Name, action, lh.score)})
+	if tel := e.Opts.Telemetry; tel != nil {
+		tel.LinkQuarantine(float64(e.Eng.Now()), lh.l.Name, action, lh.score)
+	}
+}
+
+// QuarantineCounts reports how many quarantine enter/exit transitions the
+// health monitor performed (zero when the monitor is disabled).
+func (e *Exchanger) QuarantineCounts() (enters, exits int) {
+	if e.health == nil {
+		return 0, 0
+	}
+	return e.health.enters, e.health.exits
+}

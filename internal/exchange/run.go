@@ -375,7 +375,12 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 			}
 			// Safe point: every rank has passed the allreduce but none can
 			// leave the next barrier until the coordinator enters it, so no
-			// plan is mid-flight while we re-specialize or checkpoint.
+			// plan is mid-flight while we verify, re-specialize, or
+			// checkpoint. Verification runs first: adaptation and checkpoints
+			// must see (and snapshot) repaired halos.
+			if e.verifier != nil {
+				e.verifyTick(p, it)
+			}
 			if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
 				if tel != nil {
 					asp := tel.StartSpan("adapt", runSpan, e.Eng.Now())

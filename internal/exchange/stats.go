@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/nodeaware/stencil/internal/fault"
+	"github.com/nodeaware/stencil/internal/mpi"
 	"github.com/nodeaware/stencil/internal/sim"
 )
 
@@ -29,6 +30,27 @@ type Stats struct {
 	// with Options.SendTimeout.
 	MPIRetries int
 
+	// Delivery summarizes the reliable-delivery envelope's protocol
+	// counters: messages sent, retransmits, drops, corruptions, duplicates,
+	// dedups, NACKs, and deliveries that exhausted the attempt cap with a
+	// corrupt payload. All zero unless the envelope was armed (delivery
+	// faults, or Options.Reliable).
+	Delivery mpi.Stats
+
+	// ReExchanges counts halo quadrants selectively re-exchanged by the
+	// end-to-end verification layer; VerifyRounds counts repair rounds that
+	// found at least one damaged quadrant; ForcedRepairs counts quadrants
+	// repaired out-of-band after the round cap. All zero unless
+	// verification ran (delivery faults, or Options.VerifyExchange).
+	ReExchanges   int
+	VerifyRounds  int
+	ForcedRepairs int
+
+	// QuarantineEnters and QuarantineExits count link quarantine
+	// transitions performed by the health monitor (health.go).
+	QuarantineEnters int
+	QuarantineExits  int
+
 	// Checkpoints, Rollbacks, and MigratedSubs summarize the recovery layer
 	// (recover.go); all zero unless Options.CheckpointEvery > 0.
 	Checkpoints  int
@@ -46,7 +68,14 @@ func newStats(e *Exchanger, times []sim.Time) *Stats {
 		MethodBytes: make(map[Method]int64),
 		AdaptEvents: e.AdaptLog,
 		MPIRetries:  e.W.Retries,
+		Delivery:    e.W.Stats(),
 	}
+	if v := e.verifier; v != nil {
+		s.ReExchanges = v.reexchanges
+		s.VerifyRounds = v.rounds
+		s.ForcedRepairs = v.forced
+	}
+	s.QuarantineEnters, s.QuarantineExits = e.QuarantineCounts()
 	if e.Faults != nil {
 		s.FaultLog = e.Faults.Log()
 	}

@@ -58,6 +58,24 @@ const (
 	// drives. The exchange recovery layer evicts the rank from collectives
 	// and re-places its subdomains on survivors.
 	RankFail
+	// MsgDrop sets the per-message drop probability of the target links to
+	// Factor (0 clears). Sampled by the MPI reliable-delivery layer at flow
+	// completion: a dropped message really withholds its payload and the
+	// sender must retransmit.
+	MsgDrop
+	// MsgCorrupt sets the per-message corruption probability of the target
+	// links to Factor (0 clears). A corrupted delivery flips real payload
+	// bytes in the receive buffer; the checksum mismatch triggers a NACK.
+	MsgCorrupt
+	// MsgDup sets the per-message duplication probability of the target
+	// links to Factor (0 clears). A duplicated delivery arrives twice; the
+	// receiver deduplicates by sequence number.
+	MsgDup
+	// LinkFlap periodically fails and recovers the target links: each cycle
+	// is Duration long with the links down for the first Factor (duty, in
+	// (0,1)) of it, repeated Repeat times (default 1). Unlike NICFlap it
+	// models a persistently unstable link rather than a single outage.
+	LinkFlap
 	numKinds
 )
 
@@ -79,6 +97,14 @@ func (k Kind) String() string {
 		return "gpu-fail"
 	case RankFail:
 		return "rank-fail"
+	case MsgDrop:
+		return "msg-drop"
+	case MsgCorrupt:
+		return "msg-corrupt"
+	case MsgDup:
+		return "msg-dup"
+	case LinkFlap:
+		return "link-flap"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -154,12 +180,27 @@ type Event struct {
 	At       sim.Time
 	Kind     Kind
 	Target   Target
-	Factor   float64  // LinkDegrade: capacity multiplier; GPUStraggle: slowdown
-	Duration sim.Time // NICFlap outage length; RankPause length; LinkFail>0 auto-recovers
+	Factor   float64  // LinkDegrade: capacity multiplier; GPUStraggle: slowdown; Msg*: probability; LinkFlap: duty
+	Duration sim.Time // NICFlap outage length; RankPause length; LinkFail>0 auto-recovers; LinkFlap: cycle period
+	Repeat   int      // LinkFlap: number of down/up cycles (0 means 1)
+}
+
+// cycles returns the LinkFlap cycle count with the zero-value default.
+func (e Event) cycles() int {
+	if e.Repeat < 1 {
+		return 1
+	}
+	return e.Repeat
 }
 
 func (e Event) String() string {
 	s := fmt.Sprintf("t=%-9.4gs %-12s %s", e.At, e.Kind, e.Target)
+	switch e.Kind {
+	case MsgDrop, MsgCorrupt, MsgDup:
+		return s + fmt.Sprintf(" p=%g", e.Factor)
+	case LinkFlap:
+		return s + fmt.Sprintf(" period=%gs duty=%g cycles=%d", e.Duration, e.Factor, e.cycles())
+	}
 	if e.Factor != 0 && (e.Kind == LinkDegrade || e.Kind == GPUStraggle) {
 		s += fmt.Sprintf(" factor=%g", e.Factor)
 	}
@@ -169,9 +210,14 @@ func (e Event) String() string {
 	return s
 }
 
-// Scenario is a named, scripted fault schedule.
+// Scenario is a named, scripted fault schedule. Seed keys the deterministic
+// hash-based PRNG behind delivery faults (MsgDrop/MsgCorrupt/MsgDup): the
+// same seed, topology, and traffic yield bit-identical fault decisions
+// regardless of event-execution interleaving, because each decision hashes
+// (seed, link, message identity) instead of consuming a shared stream.
 type Scenario struct {
 	Name   string
+	Seed   uint64
 	Events []Event
 }
 
@@ -235,6 +281,50 @@ func (s *Scenario) KillRank(t sim.Time, rank int) *Scenario {
 		Target: Target{Kind: TargetRank, A: rank}})
 }
 
+// DropMsgs sets probability p of per-message drop on both directions of a
+// node's NIC starting at t (p = 0 clears it).
+func (s *Scenario) DropMsgs(t sim.Time, node int, p float64) *Scenario {
+	return s.Add(Event{At: t, Kind: MsgDrop, Factor: p,
+		Target: Target{Node: node, Kind: TargetNIC}})
+}
+
+// CorruptMsgs sets probability p of per-message payload corruption on both
+// directions of a node's NIC starting at t (p = 0 clears it).
+func (s *Scenario) CorruptMsgs(t sim.Time, node int, p float64) *Scenario {
+	return s.Add(Event{At: t, Kind: MsgCorrupt, Factor: p,
+		Target: Target{Node: node, Kind: TargetNIC}})
+}
+
+// DupMsgs sets probability p of per-message duplication on both directions
+// of a node's NIC starting at t (p = 0 clears it).
+func (s *Scenario) DupMsgs(t sim.Time, node int, p float64) *Scenario {
+	return s.Add(Event{At: t, Kind: MsgDup, Factor: p,
+		Target: Target{Node: node, Kind: TargetNIC}})
+}
+
+// LossyNIC applies drop, corrupt, and dup probabilities to a node's NIC in
+// one call; zero probabilities add no event.
+func (s *Scenario) LossyNIC(t sim.Time, node int, drop, corrupt, dup float64) *Scenario {
+	if drop > 0 {
+		s.DropMsgs(t, node, drop)
+	}
+	if corrupt > 0 {
+		s.CorruptMsgs(t, node, corrupt)
+	}
+	if dup > 0 {
+		s.DupMsgs(t, node, dup)
+	}
+	return s
+}
+
+// FlapNICPeriodic flaps a node's NIC starting at t: each cycle is period
+// long with the NIC down for the first duty (in (0,1)) of it, repeated
+// cycles times.
+func (s *Scenario) FlapNICPeriodic(t sim.Time, node int, period sim.Time, duty float64, cycles int) *Scenario {
+	return s.Add(Event{At: t, Kind: LinkFlap, Duration: period, Factor: duty, Repeat: cycles,
+		Target: Target{Node: node, Kind: TargetNIC}})
+}
+
 // Validate statically checks the scenario without a machine: every event
 // must have a known Kind and non-negative At, Factor, and Duration.
 // Injector.Install runs it automatically (before the machine-shape checks);
@@ -248,11 +338,28 @@ func (s *Scenario) Validate() error {
 		if ev.At < 0 {
 			return fmt.Errorf("fault: scenario %q event %d: negative event time %g", s.Name, i, ev.At)
 		}
-		if ev.Factor < 0 {
-			return fmt.Errorf("fault: scenario %q event %d: negative factor %g", s.Name, i, ev.Factor)
-		}
-		if ev.Duration < 0 {
-			return fmt.Errorf("fault: scenario %q event %d: negative duration %g", s.Name, i, ev.Duration)
+		switch ev.Kind {
+		case MsgDrop, MsgCorrupt, MsgDup:
+			if ev.Factor < 0 || ev.Factor > 1 {
+				return fmt.Errorf("fault: scenario %q event %d: %s probability %g outside [0,1]", s.Name, i, ev.Kind, ev.Factor)
+			}
+		case LinkFlap:
+			if ev.Duration <= 0 {
+				return fmt.Errorf("fault: scenario %q event %d: non-positive flap period %g", s.Name, i, ev.Duration)
+			}
+			if ev.Factor <= 0 || ev.Factor >= 1 {
+				return fmt.Errorf("fault: scenario %q event %d: flap duty cycle %g outside (0,1)", s.Name, i, ev.Factor)
+			}
+			if ev.Repeat < 0 {
+				return fmt.Errorf("fault: scenario %q event %d: negative flap cycle count %d", s.Name, i, ev.Repeat)
+			}
+		default:
+			if ev.Factor < 0 {
+				return fmt.Errorf("fault: scenario %q event %d: negative factor %g", s.Name, i, ev.Factor)
+			}
+			if ev.Duration < 0 {
+				return fmt.Errorf("fault: scenario %q event %d: negative duration %g", s.Name, i, ev.Duration)
+			}
 		}
 	}
 	return nil
@@ -264,6 +371,31 @@ func (s *Scenario) Validate() error {
 func (s *Scenario) HasFatal() bool {
 	for _, ev := range s.Events {
 		if ev.Kind == GPUFail || ev.Kind == RankFail {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDelivery reports whether the scenario contains probabilistic delivery
+// faults (MsgDrop, MsgCorrupt, or MsgDup), which require the MPI
+// reliable-delivery envelope to remain correct.
+func (s *Scenario) HasDelivery() bool {
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case MsgDrop, MsgCorrupt, MsgDup:
+			return true
+		}
+	}
+	return false
+}
+
+// HasFlap reports whether the scenario contains periodic link flapping
+// (LinkFlap), the pattern the exchange layer's quarantine hysteresis exists
+// to absorb.
+func (s *Scenario) HasFlap() bool {
+	for _, ev := range s.Events {
+		if ev.Kind == LinkFlap {
 			return true
 		}
 	}
@@ -322,6 +454,12 @@ func (inj *Injector) Install(sc *Scenario) error {
 		if err := inj.validate(ev); err != nil {
 			return fmt.Errorf("fault: scenario %q event %d: %w", sc.Name, i, err)
 		}
+	}
+	if sc.HasDelivery() && inj.W != nil {
+		// Delivery faults are sampled by the MPI reliable-delivery layer;
+		// installing them arms it with the scenario's seed.
+		inj.W.Reliable = true
+		inj.W.DeliverySeed = sc.Seed
 	}
 	ordered := append([]Event(nil), sc.Events...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
@@ -415,8 +553,13 @@ func (inj *Injector) validate(ev Event) error {
 		if inj.W.Size()%len(inj.M.Nodes) != 0 {
 			return fmt.Errorf("ranks (%d) not evenly spread over nodes (%d)", inj.W.Size(), len(inj.M.Nodes))
 		}
+	case MsgDrop, MsgCorrupt, MsgDup:
+		if inj.W == nil {
+			return fmt.Errorf("%s needs an MPI world (loss is sampled at message delivery)", ev.Kind)
+		}
 	}
-	if ev.Kind == LinkDegrade || ev.Kind == LinkFail || ev.Kind == LinkRecover || ev.Kind == NICFlap {
+	switch ev.Kind {
+	case LinkDegrade, LinkFail, LinkRecover, NICFlap, LinkFlap, MsgDrop, MsgCorrupt, MsgDup:
 		if tg.Kind == TargetGPU || tg.Kind == TargetRank {
 			return fmt.Errorf("%s cannot target %s", ev.Kind, tg.Kind)
 		}
@@ -514,6 +657,42 @@ func (inj *Injector) apply(ev Event) {
 	case GPUFail:
 		inj.RT.DeviceAt(ev.Target.Node, ev.Target.A).Fail()
 		inj.record(GPUFail, "permanent loss of %s", ev.Target)
+
+	case MsgDrop, MsgCorrupt, MsgDup:
+		for _, l := range inj.links(ev.Target) {
+			ls := l.Loss()
+			switch ev.Kind {
+			case MsgDrop:
+				ls.Drop = ev.Factor
+			case MsgCorrupt:
+				ls.Corrupt = ev.Factor
+			case MsgDup:
+				ls.Dup = ev.Factor
+			}
+			l.SetLoss(ls)
+		}
+		inj.record(ev.Kind, "%s p=%g on %s", ev.Kind, ev.Factor, ev.Target)
+
+	case LinkFlap:
+		period := ev.Duration
+		downFor := sim.Time(float64(period) * ev.Factor)
+		cycles := ev.cycles()
+		for c := 0; c < cycles; c++ {
+			c := c
+			off := sim.Time(c) * period
+			inj.M.Eng.After(off, func() {
+				for _, l := range inj.links(ev.Target) {
+					net.FailLink(l)
+				}
+				inj.record(LinkFlap, "flap %s down (cycle %d/%d)", ev.Target, c+1, cycles)
+			})
+			inj.M.Eng.After(off+downFor, func() {
+				for _, l := range inj.links(ev.Target) {
+					net.RestoreLink(l)
+				}
+				inj.record(LinkRecover, "flap %s up (cycle %d/%d)", ev.Target, c+1, cycles)
+			})
+		}
 
 	case RankFail:
 		r := inj.W.Rank(ev.Target.A)

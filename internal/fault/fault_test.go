@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/nodeaware/stencil/internal/cudart"
+	"github.com/nodeaware/stencil/internal/flownet"
 	"github.com/nodeaware/stencil/internal/machine"
 	"github.com/nodeaware/stencil/internal/mpi"
 	"github.com/nodeaware/stencil/internal/sim"
@@ -254,6 +255,138 @@ func TestScenarioValidate(t *testing.T) {
 	inj := NewInjector(m, rt, w)
 	if err := inj.Install(cases[1].sc); err == nil {
 		t.Error("Install accepted a scenario Validate rejects")
+	}
+}
+
+// TestScenarioValidateDeliveryKinds: table-driven validation of the
+// probabilistic delivery-fault and periodic-flap kinds — probabilities must
+// lie in [0,1], flap periods must be positive, duty cycles in (0,1).
+func TestScenarioValidateDeliveryKinds(t *testing.T) {
+	cases := []struct {
+		name    string
+		sc      *Scenario
+		wantErr string // "" means valid
+	}{
+		{"drop ok", (&Scenario{}).DropMsgs(1, 0, 0.2), ""},
+		{"corrupt ok", (&Scenario{}).CorruptMsgs(1, 0, 1), ""},
+		{"dup ok", (&Scenario{}).DupMsgs(1, 0, 0), ""},
+		{"lossy combo ok", (&Scenario{}).LossyNIC(1, 0, 0.2, 0.1, 0.05), ""},
+		{"flap ok", (&Scenario{}).FlapNICPeriodic(1, 0, 0.5, 0.4, 6), ""},
+		{"flap default cycles ok", (&Scenario{}).FlapNICPeriodic(1, 0, 0.5, 0.4, 0), ""},
+		{"drop p>1", (&Scenario{}).DropMsgs(1, 0, 1.5), "outside [0,1]"},
+		{"drop p<0", (&Scenario{}).DropMsgs(1, 0, -0.1), "outside [0,1]"},
+		{"corrupt p>1", (&Scenario{}).CorruptMsgs(1, 0, 2), "outside [0,1]"},
+		{"dup p<0", (&Scenario{}).DupMsgs(1, 0, -1), "outside [0,1]"},
+		{"flap zero period", (&Scenario{}).FlapNICPeriodic(1, 0, 0, 0.5, 2), "non-positive flap period"},
+		{"flap negative period", (&Scenario{}).FlapNICPeriodic(1, 0, -1, 0.5, 2), "non-positive flap period"},
+		{"flap zero duty", (&Scenario{}).FlapNICPeriodic(1, 0, 1, 0, 2), "duty cycle"},
+		{"flap duty 1", (&Scenario{}).FlapNICPeriodic(1, 0, 1, 1, 2), "duty cycle"},
+		{"flap negative duty", (&Scenario{}).FlapNICPeriodic(1, 0, 1, -0.3, 2), "duty cycle"},
+		{"flap negative cycles", (&Scenario{}).FlapNICPeriodic(1, 0, 1, 0.5, -2), "cycle count"},
+	}
+	for _, c := range cases {
+		err := c.sc.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: Validate rejected a well-formed scenario: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad scenario", c.name)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestMsgFaultsSetLinkLoss: Msg* events install (and clear) the per-link loss
+// probabilities on both NIC directions, and require an MPI world to sample
+// them.
+func TestMsgFaultsSetLinkLoss(t *testing.T) {
+	eng, m, rt, w := rig(2, 1)
+	inj := NewInjector(m, rt, w)
+	sc := (&Scenario{Name: "lossy", Seed: 7}).
+		DropMsgs(1, 0, 0.2).CorruptMsgs(1, 0, 0.1).DupMsgs(1, 0, 0.05).
+		DropMsgs(2, 0, 0)
+	if err := inj.Install(sc); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Reliable || w.DeliverySeed != 7 {
+		t.Errorf("Install did not arm the reliable layer: Reliable=%v seed=%d", w.Reliable, w.DeliverySeed)
+	}
+	out, in := m.Nodes[0].NIC()
+	eng.At(1.5, func() {
+		for _, l := range []*flownet.Link{out, in} {
+			if ls := l.Loss(); ls.Drop != 0.2 || ls.Corrupt != 0.1 || ls.Dup != 0.05 {
+				t.Errorf("loss on %s at t=1.5: %+v", l.Name, ls)
+			}
+		}
+	})
+	eng.Run()
+	if ls := out.Loss(); ls.Drop != 0 || ls.Corrupt != 0.1 {
+		t.Errorf("drop not cleared independently: %+v", ls)
+	}
+	// Without an MPI world nothing samples the loss: reject at install time.
+	inj2 := NewInjector(m, rt, nil)
+	if err := inj2.Install((&Scenario{}).DropMsgs(1, 0, 0.5)); err == nil {
+		t.Error("Install accepted a delivery fault without an MPI world")
+	}
+}
+
+// TestLinkFlapPeriodic: a LinkFlap event fails and recovers its links once
+// per cycle for exactly Repeat cycles, then leaves them healthy.
+func TestLinkFlapPeriodic(t *testing.T) {
+	eng, m, rt, w := rig(2, 1)
+	inj := NewInjector(m, rt, w)
+	if err := inj.Install((&Scenario{Name: "flappy"}).FlapNICPeriodic(1, 1, 1.0, 0.25, 3)); err != nil {
+		t.Fatal(err)
+	}
+	out, in := m.Nodes[1].NIC()
+	for c := 0; c < 3; c++ {
+		at := 1 + sim.Time(c)
+		eng.At(at+0.1, func() {
+			if !out.Down() || !in.Down() {
+				t.Errorf("NIC not down at t=%g", at+0.1)
+			}
+		})
+		eng.At(at+0.5, func() {
+			if out.Down() || in.Down() {
+				t.Errorf("NIC not recovered at t=%g", at+0.5)
+			}
+		})
+	}
+	eng.Run()
+	if out.Down() || out.Health() != 1 {
+		t.Error("NIC unhealthy after flap episode ended")
+	}
+	if got := out.DownCount(); got != 3 {
+		t.Errorf("DownCount: got %d want 3", got)
+	}
+	downs := 0
+	for _, rec := range inj.Log() {
+		if rec.Kind == LinkFlap.String() {
+			downs++
+		}
+	}
+	if downs != 3 {
+		t.Errorf("flap down records: got %d want 3: %v", downs, inj.Log())
+	}
+}
+
+// TestHasDelivery: only Msg* kinds require the reliable-delivery envelope.
+func TestHasDelivery(t *testing.T) {
+	if (&Scenario{}).FlapNICPeriodic(1, 0, 1, 0.5, 2).KillGPU(2, 0, 0).HasDelivery() {
+		t.Error("non-delivery scenario reported delivery faults")
+	}
+	for _, sc := range []*Scenario{
+		(&Scenario{}).DropMsgs(1, 0, 0.1),
+		(&Scenario{}).CorruptMsgs(1, 0, 0.1),
+		(&Scenario{}).DupMsgs(1, 0, 0.1),
+	} {
+		if !sc.HasDelivery() {
+			t.Errorf("scenario %v not reported as delivery-faulted", sc.Events)
+		}
 	}
 }
 

@@ -25,12 +25,29 @@ import (
 	"github.com/nodeaware/stencil/internal/sim"
 )
 
+// Loss models per-message delivery faults on a link. Each field is the
+// probability, per message crossing the link, of the corresponding fault.
+// The network itself never consults these — flows always deliver their
+// bytes — because loss is a message-level concept: the MPI layer samples
+// them at flow completion with a deterministic hash-based draw so that
+// corruption flips real payload bytes and drops really withhold delivery.
+type Loss struct {
+	Drop    float64 // message withheld entirely
+	Corrupt float64 // payload bytes flipped in the receive buffer
+	Dup     float64 // message delivered twice
+}
+
+// Zero reports whether the loss model is a no-op.
+func (ls Loss) Zero() bool { return ls.Drop == 0 && ls.Corrupt == 0 && ls.Dup == 0 }
+
 // Link is a unidirectional bandwidth resource.
 type Link struct {
 	Name     string
 	Capacity float64 // bytes per second
 	base     float64 // healthy capacity, set at creation
 	down     bool    // marked failed by FailLink
+	downs    uint64  // up→down transitions (see DownCount)
+	loss     Loss    // per-message delivery-fault probabilities
 	flows    []*Flow // active flows crossing the link
 
 	// rateSum is the incrementally maintained sum of the current rates of
@@ -67,6 +84,20 @@ func (l *Link) BaseCapacity() float64 { return l.base }
 // in-flight flows remain schedulable; higher layers consult this flag to
 // route around it.
 func (l *Link) Down() bool { return l.down }
+
+// DownCount returns the number of up→down transitions the link has seen
+// (FailLink calls on an up link). Health scoring uses deltas of this counter
+// to notice a flapping link even when every instantaneous Down() sample
+// happens to land in an up window.
+func (l *Link) DownCount() uint64 { return l.downs }
+
+// SetLoss installs per-message delivery-fault probabilities on the link.
+// Purely advisory state: capacities, waterfilling, and the mutation counter
+// are untouched. The MPI reliable-delivery layer samples it per message.
+func (l *Link) SetLoss(ls Loss) { l.loss = ls }
+
+// Loss returns the link's per-message delivery-fault probabilities.
+func (l *Link) Loss() Loss { return l.loss }
 
 // Health returns Capacity/BaseCapacity: 1 when healthy, ~0 when failed.
 func (l *Link) Health() float64 { return l.Capacity / l.base }
@@ -336,6 +367,7 @@ func (n *Network) DegradeLink(l *Link, factor float64) {
 func (n *Network) FailLink(l *Link) {
 	if !l.down {
 		l.down = true
+		l.downs++
 		n.mutations++
 	}
 	cap := l.base * FailFraction

@@ -250,6 +250,23 @@ func appendRowOffsets(offs []int, d *Domain, reg Region) []int {
 	return offs
 }
 
+// RegionChecksum returns a 64-bit FNV-1a hash over a region's bytes (all
+// quantities, rows in region order — the order Pack serializes). A send
+// region and the matching receive region on the neighbor hash equal exactly
+// when the transfer landed intact, which is what the exchange layer's
+// end-to-end halo verification compares. Time-only domains return 0.
+func (d *Domain) RegionChecksum(reg Region) uint64 {
+	if d.data == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	for q := 0; q < d.Quantities; q++ {
+		buf := d.data[q]
+		d.forEachRow(reg, func(off, n int) { h.Write(buf[off : off+n]) })
+	}
+	return h.Sum64()
+}
+
 // Fingerprint returns a 64-bit FNV-1a hash over the domain's complete backing
 // store (all quantities, interior and halo). Two domains that went through
 // byte-identical histories hash equal; the determinism regression test

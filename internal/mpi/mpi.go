@@ -49,6 +49,10 @@ type World struct {
 	// cap the message is driven to completion without further aborts (the
 	// simulation never loses a message — a crawling link is eventually
 	// restored or the flow's residual trickle finishes). Zero means 8.
+	// Hitting the cap is a real hazard — the final attempt runs with no
+	// deadline — so it is counted in Stats().RetryExhausted and reported
+	// through OnRetryExhausted rather than passing silently. The same value
+	// caps the reliable-delivery envelope's attempts (see Reliable).
 	SendRetries int
 	// Retries counts retry attempts actually taken, for reporting.
 	Retries int
@@ -56,6 +60,37 @@ type World struct {
 	// (the wire transfer's name and the 1-based attempt number that was
 	// abandoned). Must be passive: telemetry, not control flow.
 	OnRetry func(t sim.Time, name string, attempt int)
+	// OnRetryExhausted, when set, observes every send whose retry budget ran
+	// out, at the moment the unabortable final attempt starts (attempts is
+	// the number of aborted attempts that preceded it). Must be passive.
+	OnRetryExhausted func(t sim.Time, name string, attempts int)
+
+	// Reliable enables the reliable-delivery envelope for inter-node
+	// messages: per-message checksums and sequence numbers, receiver-side
+	// dedup, ACK/NACK control flows, and retransmission under exponential
+	// backoff with an attempt cap (see reliable.go). Armed automatically
+	// when a fault scenario containing delivery faults is installed; it can
+	// also be forced on to measure protocol overhead on a clean network.
+	Reliable bool
+	// DeliverySeed keys the deterministic hash-based PRNG behind delivery
+	// faults and corruption patterns. Every decision hashes
+	// (seed, link, endpoints, sequence, attempt, purpose), so outcomes are
+	// independent of the order concurrent messages sample in — bit-identical
+	// across reruns, worker counts, and RNG-stream interleavings.
+	DeliverySeed uint64
+	// OnProtocol, when set, observes reliable-envelope protocol actions
+	// (drop, corrupt, dup, dedup, retransmit, nack, ackdrop, exhausted).
+	// link is empty for end-to-end actions. Must be passive.
+	OnProtocol func(t sim.Time, kind, link string, src, dst int, seq uint64, attempt int)
+	// OnDeliver, when set, observes every reliable-envelope acceptance.
+	// compromised marks a delivery that exhausted its attempt cap with a
+	// corrupt payload — the wire gave up on integrity and the exchange
+	// layer's end-to-end verification is the backstop. Must be passive.
+	OnDeliver func(t sim.Time, src, dst, tag int, compromised bool)
+
+	stats      Stats
+	seqs       map[[2]int]uint64     // per-(src,dst) send sequence numbers
+	linkFaults map[*flownet.Link]int // protocol faults charged per link
 
 	barrierCount int
 	barrierSig   *sim.Signal
@@ -122,6 +157,45 @@ func NewWorld(m *machine.Machine, rt *cudart.Runtime, ranksPerNode int, cudaAwar
 	return w
 }
 
+// Stats is a snapshot of the world's transport counters. Retries covers the
+// legacy timeout/abort policy; the remaining protocol counters are produced
+// by the reliable-delivery envelope (Reliable).
+type Stats struct {
+	Retries        int // timed-out-and-aborted send attempts (startFlowRetry)
+	RetryExhausted int // sends whose capped final attempt ran unaborted
+	Messages       int // messages driven through the reliable envelope
+	Retransmits    int // envelope retransmissions (RTO expiry or NACK)
+	Drops          int // data deliveries withheld by a lossy link
+	AckDrops       int // control deliveries withheld by a lossy link
+	Corrupts       int // deliveries with flipped payload bytes
+	Dups           int // deliveries duplicated by a lossy link
+	Dedups         int // duplicate deliveries suppressed by sequence number
+	Nacks          int // checksum-mismatch rejections sent by the receiver
+	Exhausted      int // deliveries accepted compromised after the attempt cap
+}
+
+// Stats returns a snapshot of the world's transport counters.
+func (w *World) Stats() Stats {
+	s := w.stats
+	s.Retries = w.Retries
+	return s
+}
+
+// linkFault charges one protocol fault (drop, corruption, or timeout) to a
+// link, for health scoring.
+func (w *World) linkFault(l *flownet.Link) {
+	if w.linkFaults == nil {
+		w.linkFaults = make(map[*flownet.Link]int)
+	}
+	w.linkFaults[l]++
+}
+
+// LinkFaults returns the cumulative protocol faults charged to the link:
+// messages dropped or corrupted on it, plus timeouts charged to every link of
+// the timed-out path (a timeout cannot name the guilty hop). Health scoring
+// in the exchange layer consumes deltas of this counter.
+func (w *World) LinkFaults(l *flownet.Link) int { return w.linkFaults[l] }
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
 
@@ -174,6 +248,7 @@ type Request struct {
 	buf    *cudart.Buffer
 	off    int64
 	bytes  int64
+	tag    int
 	isSend bool
 }
 
@@ -205,6 +280,7 @@ func (r *Rank) Isend(dst, tag int, buf *cudart.Buffer, off, bytes int64) *Reques
 		buf:    buf,
 		off:    off,
 		bytes:  bytes,
+		tag:    tag,
 		isSend: true,
 	}
 	key := matchKey{peer: r.ID, tag: tag}
@@ -230,6 +306,7 @@ func (r *Rank) Irecv(src, tag int, buf *cudart.Buffer, off, bytes int64) *Reques
 		buf:   buf,
 		off:   off,
 		bytes: bytes,
+		tag:   tag,
 	}
 	key := matchKey{peer: src, tag: tag}
 	if lst := r.sends[key]; len(lst) > 0 {
@@ -318,7 +395,15 @@ func (w *World) startFlowRetry(name string, path []*flownet.Link, bytes float64,
 		f := w.M.Net.StartFlow(name, path, bytes)
 		f.Done().OnFire(onDone)
 		if n >= maxRetries {
-			return // final attempt: no deadline, runs to completion
+			// Retry budget exhausted: this final attempt has no deadline and
+			// is never aborted — on a crawling link it rides the residual
+			// trickle to completion, however long that takes. Surface the
+			// hazard instead of letting it pass silently.
+			w.stats.RetryExhausted++
+			if w.OnRetryExhausted != nil {
+				w.OnRetryExhausted(eng.Now(), name, n)
+			}
+			return
 		}
 		eng.After(w.SendTimeout, func() {
 			if f.Done().Fired() {
@@ -326,6 +411,11 @@ func (w *World) startFlowRetry(name string, path []*flownet.Link, bytes float64,
 			}
 			w.M.Net.Abort(f)
 			w.Retries++
+			// A timeout cannot name the guilty hop; charge the whole path so
+			// health scoring sees trouble on any of its links.
+			for _, l := range path {
+				w.linkFault(l)
+			}
 			if w.OnRetry != nil {
 				w.OnRetry(eng.Now(), name, n+1)
 			}
@@ -368,13 +458,27 @@ func (w *World) hostTransfer(send, recv *Request) {
 			dstRank.progress.Acquire(pr)
 			w.M.Net.Transfer(pr, "mpi.shm", append(path, dstRank.copyEngine), float64(send.bytes))
 			dstRank.progress.Release()
+			commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
+		} else if w.Reliable {
+			// NIC DMA under the reliable-delivery envelope: the payload is
+			// committed (possibly more than once, possibly corrupted and then
+			// overwritten) at each delivery inside the envelope; the proc
+			// parks until the sender sees the ACK.
+			dstRank.progress.Use(pr, func() { pr.Sleep(p.MPIIntraLatency) })
+			rev := w.M.HostToHostPath(dstRank.Node, dstRank.Socket, srcRank.Node, srcRank.Socket)
+			w.reliableTransfer(pr, "mpi.nic", path, rev, send, recv, func(corrupt bool, key uint64) {
+				commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
+				if corrupt {
+					corruptPayload(recv.buf, recv.off, send.bytes, key)
+				}
+			})
 		} else {
 			// NIC DMA: the progress engine is held only for per-message CPU
 			// work; the wire transfer proceeds without it.
 			dstRank.progress.Use(pr, func() { pr.Sleep(p.MPIIntraLatency) })
 			w.transferRetry(pr, "mpi.nic", path, float64(send.bytes))
+			commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
 		}
-		commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
 		if w.RT != nil && w.RT.OnOp != nil {
 			// Host-side staging copies are CPU work a profiler would
 			// attribute to MPI; surface them in the op timeline too.
@@ -428,15 +532,26 @@ func (w *World) cudaAwareTransfer(send, recv *Request) {
 		deps := []*sim.Signal{sdev.AllWorkEvent()}
 		copyDone := sdev.DefaultStream().Enqueue(func(done *sim.Signal) {
 			eng.After(issue, func() {
-				w.startFlowRetry("mpi.ca", path, float64(send.bytes), func() {
-					// Pure payload: run the byte copy on the deferred
-					// executor under both devices' keys; the completion
-					// signal stays in event context.
+				// Pure payload: run the byte copy on the deferred executor
+				// under both devices' keys; completion signals and protocol
+				// decisions stay in event context.
+				commit := func(corrupt bool, key uint64) {
 					eng.Defer(func() {
 						commitCopy(recv.buf, recv.off, send.buf, send.off, send.bytes)
+						if corrupt {
+							corruptPayload(recv.buf, recv.off, send.bytes, key)
+						}
 					}, int32(sdev.ID), int32(ddev.ID))
-					done.Fire()
-				})
+				}
+				if w.Reliable && !intra {
+					rev := w.M.DevToDevRemotePath(ddev.Node, ddev.Local, sdev.Node, sdev.Local)
+					w.reliableSend("mpi.ca", path, rev, send, recv, commit, nil, done.Fire)
+				} else {
+					w.startFlowRetry("mpi.ca", path, float64(send.bytes), func() {
+						commit(false, 0)
+						done.Fire()
+					})
+				}
 			})
 		}, deps...)
 		// The destination's default stream observes the arrival, then both

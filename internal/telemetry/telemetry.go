@@ -394,6 +394,39 @@ func (r *Recorder) MPIRetry(t float64, name string, attempt int) {
 	r.Event(t, "retry", F("name", name), F("attempt", attempt))
 }
 
+// MPIRetryExhausted records a send whose retry budget ran out: the final
+// attempt runs without a deadline (it is never aborted), so the transfer can
+// take arbitrarily long on a crawling link. Emitted when that final attempt
+// starts.
+func (r *Recorder) MPIRetryExhausted(t float64, name string, attempts int) {
+	r.Counter("mpi_retry_exhausted_total").Inc()
+	r.Event(t, "retry_exhausted", F("name", name), F("attempts", attempts))
+}
+
+// MPIProtocol records one reliable-delivery protocol action (drop, corrupt,
+// dup, dedup, retransmit, nack, ackdrop, exhausted). link may be empty for
+// end-to-end actions not attributable to a single link.
+func (r *Recorder) MPIProtocol(t float64, kind, link string, src, dst int, seq uint64, attempt int) {
+	r.Counter("mpi_protocol_total", L("kind", kind)).Inc()
+	r.Event(t, "proto",
+		F("proto", kind), F("link", link), F("src", src), F("dst", dst),
+		F("seq", seq), F("attempt", attempt))
+}
+
+// LinkQuarantine records a health-gate transition for one link: action is
+// "enter" or "exit", score the EWMA badness at the transition.
+func (r *Recorder) LinkQuarantine(t float64, link, action string, score float64) {
+	r.Counter("link_quarantine_total", L("action", action)).Inc()
+	r.Event(t, "quarantine", F("link", link), F("action", action), F("score", score))
+}
+
+// VerifyRound records one end-to-end halo-verification round that found bad
+// quadrants and re-exchanged them.
+func (r *Recorder) VerifyRound(t float64, iter, round, bad int, forced bool) {
+	r.Counter("verify_reexchanges_total").Add(float64(bad))
+	r.Event(t, "verify", F("iter", iter), F("round", round), F("bad", bad), F("forced", forced))
+}
+
 // FaultApplied records one applied fault action.
 func (r *Recorder) FaultApplied(t float64, kind, desc string) {
 	r.Counter("faults_total", L("kind", kind)).Inc()

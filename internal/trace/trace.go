@@ -166,11 +166,13 @@ func (t *Timeline) WriteChromeTrace(w io.Writer, tracks ...CounterTrack) error {
 // an entry (enforced by TestGlyphsCoverAllOpKinds): a '?' in a Gantt chart
 // means a new kind was added without a glyph.
 var Glyphs = map[string]byte{
-	"kernel":    'K',
-	"memcpyD2D": 'P',
-	"memcpyD2H": 'v',
-	"memcpyH2D": '^',
-	"memcpyH2H": '=',
+	"kernel":     'K',
+	"memcpyD2D":  'P',
+	"memcpyD2H":  'v',
+	"memcpyH2D":  '^',
+	"memcpyH2H":  '=',
+	"retransmit": 'R',
+	"reexchange": 'X',
 }
 
 // RenderASCII draws a Gantt chart of the timeline, one row per

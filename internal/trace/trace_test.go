@@ -103,10 +103,38 @@ func TestChromeTraceJSON(t *testing.T) {
 // kind was added to cudart without a Glyphs entry (this happened with the
 // host-side staging copies, which rendered as '?' until OpMemcpyH2H got '=').
 func TestGlyphsCoverAllOpKinds(t *testing.T) {
+	seen := make(map[byte]cudart.OpKind)
 	for k := cudart.OpKind(0); k < cudart.NumOpKinds; k++ {
 		g, ok := Glyphs[k.String()]
 		if !ok || g == 0 || g == '?' {
 			t.Errorf("OpKind %v has no glyph (got %q)", k, g)
+			continue
+		}
+		// Glyphs must also be distinct, or two kinds become indistinguishable
+		// in a chart (retransmits masquerading as kernels, say).
+		if prev, dup := seen[g]; dup {
+			t.Errorf("OpKind %v and %v share glyph %q", prev, k, g)
+		}
+		seen[g] = k
+	}
+	if len(Glyphs) != int(cudart.NumOpKinds) {
+		t.Errorf("Glyphs has %d entries, want %d (stale entry for a removed kind?)", len(Glyphs), cudart.NumOpKinds)
+	}
+}
+
+// Protocol activity (retransmitted sends, verification re-exchanges) must be
+// visible in the Gantt rendering with its own glyphs.
+func TestRenderASCIIProtocolOps(t *testing.T) {
+	ops := []cudart.OpRecord{
+		{Kind: cudart.OpRetransmit, Name: "mpi.nic", Device: -1, Stream: "wire", Start: 0, End: 0.002, Bytes: 1 << 20},
+		{Kind: cudart.OpReExchange, Name: "verify", Device: -1, Stream: "verify", Start: 0.002, End: 0.003, Bytes: 1 << 18},
+	}
+	var buf bytes.Buffer
+	New(ops).RenderASCII(&buf, 40)
+	out := buf.String()
+	for _, want := range []string{"d-1 wire", "d-1 verify", "R", "X"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
 		}
 	}
 }

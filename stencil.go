@@ -212,6 +212,27 @@ type Config struct {
 	SendTimeout float64
 	SendRetries int
 
+	// Reliable forces the MPI reliable-delivery envelope for inter-node
+	// messages (per-message checksums, sequence numbers, receiver dedup,
+	// ACK/NACK with capped exponential-backoff retransmission) even on a
+	// clean network. A Fault scenario containing delivery faults
+	// (DropMsgs/CorruptMsgs/DupMsgs/LossyNIC) arms it automatically.
+	Reliable bool
+
+	// VerifyExchange enables end-to-end halo verification: per-quadrant
+	// checksums compared across the inter-node wire after each exchange,
+	// with damaged quadrants selectively re-exchanged. Auto-enabled when the
+	// Fault scenario schedules delivery faults; meaningful with RealData.
+	VerifyExchange bool
+
+	// QuarantineTicks is the clean-window hysteresis of link quarantine:
+	// a link whose health score (EWMA of fault and flap indicators) crosses
+	// the enter threshold is excluded from method selection until this many
+	// consecutive clean monitor ticks pass (0 defaults to 5), so a flapping
+	// link cannot thrash plans. Active with Adaptive when the scenario
+	// contains delivery or flap faults, or when set explicitly.
+	QuarantineTicks int
+
 	// Telemetry, when set, records metrics, link-utilization samples, phase
 	// spans, and a structured event log for the whole job; see NewTelemetry.
 	Telemetry *Telemetry
@@ -265,6 +286,9 @@ func New(cfg Config) (*DistributedDomain, error) {
 		CheckpointEvery:    cfg.CheckpointEvery,
 		SendTimeout:        sim.Time(cfg.SendTimeout),
 		SendRetries:        cfg.SendRetries,
+		Reliable:           cfg.Reliable,
+		VerifyExchange:     cfg.VerifyExchange,
+		QuarantineTicks:    cfg.QuarantineTicks,
 		Telemetry:          cfg.Telemetry,
 		Workers:            cfg.Workers,
 	})
