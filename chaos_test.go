@@ -274,6 +274,78 @@ func chaosRunLossyChecked(t *testing.T, seed int64) (*DistributedDomain, *Stats,
 	return dd, stats, tel
 }
 
+// TestChaosLossyCompute combines delivery faults with interleaved compute:
+// the coordinator's end-to-end verification checksums send regions at the
+// safe point, so compute kernels (which mutate those regions) are gated on
+// the safe-point barrier until verification completes — otherwise the scan
+// compares post-compute send regions against pre-compute halos and
+// re-exchanges post-compute bytes into neighbor halos mid-iteration. The
+// oracle is exact: the whole domain — every interior cell AND every halo
+// cell — must end byte-identical to a fault-free run of the same compute
+// schedule, across payload worker counts.
+func TestChaosLossyCompute(t *testing.T) {
+	inc := func(s *Subdomain) {
+		s.ForEachInterior(func(x, y, z int) {
+			for q := 0; q < 2; q++ {
+				s.Set(q, x, y, z, s.Get(q, x, y, z)+1)
+			}
+		})
+	}
+	run := func(lossy bool, workers int) (*DistributedDomain, *Stats) {
+		cfg := chaosCfg(workers)
+		cfg.CheckpointEvery = 0 // plain loop: delivery faults only, no recovery machinery
+		if lossy {
+			sc := &FaultScenario{Name: "lossy-compute", Seed: 13}
+			for n := 0; n < 2; n++ {
+				sc.LossyNIC(0, n, 0.2, 0.2, 0.2)
+			}
+			cfg.Fault = sc
+			cfg.SendRetries = 2
+		}
+		dd, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd.Fill(chaosFill)
+		return dd, dd.Step(chaosIters, inc)
+	}
+	fingerprints := func(dd *DistributedDomain) []uint64 {
+		fp := make([]uint64, 0, dd.NumSubdomains())
+		for _, s := range dd.Subdomains() {
+			fp = append(fp, s.sub.Dom.Fingerprint())
+		}
+		return fp
+	}
+
+	ref, _ := run(false, 0)
+	want := fingerprints(ref)
+
+	dd, stats := run(true, 0)
+	d := stats.Delivery
+	if d.Drops == 0 || d.Corrupts == 0 || d.Dups == 0 {
+		t.Fatalf("delivery faults not exercised: %+v", d)
+	}
+	if d.Exhausted > 0 && stats.ReExchanges == 0 && stats.ForcedRepairs == 0 {
+		t.Errorf("deliveries landed compromised (%d) but verification repaired nothing", d.Exhausted)
+	}
+	check := func(dd *DistributedDomain, label string) {
+		got := fingerprints(dd)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: sub %v domain bytes diverge from the fault-free run",
+					label, dd.Subdomains()[i].GlobalIndex())
+			}
+		}
+	}
+	check(dd, "workers=0")
+
+	dd2, stats2 := run(true, 3)
+	if stats2.Delivery != stats.Delivery {
+		t.Errorf("workers=3: protocol counters differ: %+v vs %+v", stats2.Delivery, stats.Delivery)
+	}
+	check(dd2, "workers=3")
+}
+
 // TestChaosRecoveryCompute runs exchange+compute under a rank kill and
 // checks that rollback replay neither loses nor double-applies compute: every
 // interior cell must end at fill + steps exactly.

@@ -397,6 +397,16 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 		if compute == nil {
 			return
 		}
+		if e.verifier != nil && e.Opts.RealData {
+			// Compute mutates send regions and halos. Without this barrier a
+			// non-coordinator rank would launch its kernels right after the
+			// allreduce, racing the coordinator's verification: quadrant
+			// checksums would compare post-compute send regions against
+			// pre-compute halos, and a re-exchange could write post-compute
+			// bytes into a neighbor's halo mid-iteration. Hold every rank
+			// until the coordinator finishes its safe-point duties.
+			e.W.Barrier(p)
+		}
 		// Ownership is re-read every iteration: AdaptPlacement (or a
 		// recovery migration) may move a subdomain to another rank's GPU
 		// mid-run.

@@ -86,7 +86,9 @@ func (v *verifier) forceRepair(pl *Plan) {
 // verifyTick runs on the coordinator at the inter-iteration safe point,
 // before adaptation: every rank has passed the timing allreduce and none can
 // leave the next barrier, so no plan is mid-flight while quadrants are
-// checksummed and re-exchanged.
+// checksummed and re-exchanged. Compute kernels are gated on the same safe
+// point (RunWithCompute holds every rank at a barrier until the coordinator
+// finishes), so the checksummed regions cannot mutate under the scan.
 func (e *Exchanger) verifyTick(p *sim.Proc, iter int) {
 	if !e.Opts.RealData {
 		return // nothing to checksum in time-only mode

@@ -291,7 +291,8 @@ func (env *envelope) arrive(n int) {
 	env.recordAttempt(n)
 	w := env.w
 	final := n >= env.maxAttempts-1
-	corrupt, dup := false, false
+	corrupt := false
+	dupLink := ""
 	for _, l := range env.fwd {
 		ls := l.Loss()
 		if ls.Zero() {
@@ -311,14 +312,19 @@ func (env *envelope) arrive(n int) {
 			w.linkFault(l)
 			env.proto("corrupt", l.Name, n)
 		}
-		if !final && !dup && ls.Dup > 0 && w.draw(l.Name, env.src, env.dst, env.seq, n, 'P') < ls.Dup {
-			dup = true
-			w.stats.Dups++
-			env.proto("dup", l.Name, n)
+		if !final && dupLink == "" && ls.Dup > 0 && w.draw(l.Name, env.src, env.dst, env.seq, n, 'P') < ls.Dup {
+			// Record only: a later link may still draw a drop and withhold
+			// the whole message, in which case no duplicate is delivered and
+			// neither the counter nor the event should fire.
+			dupLink = l.Name
 		}
 	}
+	if dupLink != "" {
+		w.stats.Dups++
+		env.proto("dup", dupLink, n)
+	}
 	env.deliver(n, corrupt, final)
-	if dup {
+	if dupLink != "" {
 		// The duplicate copy trails the original by the wire latency and is
 		// deduplicated by sequence number.
 		w.M.Eng.After(w.M.Params.MPIInterLatency, func() { env.deliver(n, corrupt, final) })
@@ -328,6 +334,16 @@ func (env *envelope) arrive(n int) {
 // deliver is the receiver side of one arriving copy.
 func (env *envelope) deliver(n int, corrupt, final bool) {
 	w := env.w
+	if env.accepted {
+		// Sequence number already accepted: a duplicate (or a spurious
+		// retransmission after a lost ACK). Dedup takes precedence over the
+		// copy's corruption verdict — even a corrupt copy must not commit a
+		// single byte over the accepted payload. Drop it, re-ACK.
+		w.stats.Dedups++
+		env.proto("dedup", "", n)
+		env.sendCtl(true, n, final)
+		return
+	}
 	key := w.hash64(env.name, env.src, env.dst, env.seq, n, 'K')
 	if corrupt && !final {
 		// The flipped bytes really land, the checksum mismatch is detected,
@@ -339,14 +355,6 @@ func (env *envelope) deliver(n int, corrupt, final bool) {
 		w.stats.Nacks++
 		env.proto("nack", "", n)
 		env.sendCtl(false, n, final)
-		return
-	}
-	if env.accepted {
-		// Sequence number already accepted: a duplicate (or a spurious
-		// retransmission after a lost ACK). Drop the payload, re-ACK.
-		w.stats.Dedups++
-		env.proto("dedup", "", n)
-		env.sendCtl(true, n, final)
 		return
 	}
 	env.accepted = true

@@ -138,6 +138,54 @@ func TestReliableAckLossCoveredByRTO(t *testing.T) {
 	}
 }
 
+func TestReliableCorruptSpuriousRetransmitDeduplicated(t *testing.T) {
+	// Lost ACKs force spurious retransmissions of an already-accepted
+	// message, and half the data copies arrive corrupted. Dedup must take
+	// precedence over the corruption verdict: once a clean copy is accepted,
+	// a later corrupt copy of the same sequence number must not commit a
+	// single byte over it, and the delivery must not be reported compromised.
+	e, w, links := reliableRig(t, false, 1)
+	w.SendRetries = 6
+	links[1].SetLoss(flownet.Loss{Drop: 1})      // node 0 in: every ACK/NACK lost
+	links[3].SetLoss(flownet.Loss{Corrupt: 0.5}) // node 1 in: data's last hop
+	var compromised bool
+	w.OnDeliver = func(_ sim.Time, _, _, _ int, c bool) { compromised = compromised || c }
+	src, dst := reliableSendRecv(t, e, w, 4096)
+	s := w.Stats()
+	if s.Dedups == 0 || s.Corrupts == 0 {
+		t.Fatalf("stats = %+v: scenario did not combine dedup with corruption; weak test", s)
+	}
+	if !payloadEqual(src, dst) {
+		t.Error("corrupt spurious retransmission overwrote the accepted payload")
+	}
+	if compromised || s.Exhausted != 0 {
+		t.Errorf("delivery reported compromised (exhausted = %d) despite an accepted clean copy", s.Exhausted)
+	}
+}
+
+func TestReliableDupNotCountedWhenDropped(t *testing.T) {
+	// A dup drawn on an early link followed by a drop on a later link
+	// withholds the whole message: no duplicate is ever delivered, so the
+	// Dups counter must not tick. With drop=1 downstream of dup=1, every
+	// non-final attempt is withheld and only the guaranteed final attempt
+	// (drop and dup suppressed) delivers.
+	e, w, links := reliableRig(t, false, 7)
+	w.SendRetries = 3
+	links[0].SetLoss(flownet.Loss{Dup: 1})  // node 0 out: dup drawn first
+	links[3].SetLoss(flownet.Loss{Drop: 1}) // node 1 in: then dropped
+	src, dst := reliableSendRecv(t, e, w, 4096)
+	if !payloadEqual(src, dst) {
+		t.Fatal("payload wrong under dup-then-drop")
+	}
+	s := w.Stats()
+	if s.Dups != 0 {
+		t.Errorf("dups = %d, want 0: every dup-drawn copy was withheld by a later drop", s.Dups)
+	}
+	if s.Drops != 2 {
+		t.Errorf("drops = %d, want 2 (attempts 0..1)", s.Drops)
+	}
+}
+
 func TestReliableCudaAwarePath(t *testing.T) {
 	e, w, links := reliableRig(t, true, 6)
 	w.SendRetries = 4
