@@ -36,18 +36,15 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	stencil "github.com/nodeaware/stencil"
+	"github.com/nodeaware/stencil/internal/jobspec"
 	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func main() { jobspec.Main(run) }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
@@ -113,21 +110,30 @@ func run(args []string, out io.Writer) error {
 	})
 	lossy := *drop > 0 || *corrupt > 0 || *dup > 0
 
+	// The job's base shape as a jobspec: the same document a stencilserve
+	// client would submit to replay this run.
+	spec := &jobspec.Spec{
+		Nodes:           *nodes,
+		RanksPerNode:    *ranks,
+		Domain:          strconv.Itoa(*edge),
+		Radius:          *radius,
+		Quantities:      *quantities,
+		Caps:            "kernel",
+		CUDAAware:       *cudaAware,
+		Verify:          *verify,
+		Iters:           *iters,
+		SendTimeout:     *timeout,
+		SendRetries:     *retries,
+		CheckpointEvery: *checkpoint,
+	}
+	specCfg, err := spec.Config()
+	if err != nil {
+		return err
+	}
 	baseCfg := func(adaptive bool) stencil.Config {
-		return stencil.Config{
-			Nodes:           *nodes,
-			RanksPerNode:    *ranks,
-			Domain:          stencil.Dim3{X: *edge, Y: *edge, Z: *edge},
-			Radius:          *radius,
-			Quantities:      *quantities,
-			Capabilities:    stencil.CapsAll(),
-			CUDAAware:       *cudaAware,
-			RealData:        *verify,
-			Adaptive:        adaptive,
-			SendTimeout:     *timeout,
-			SendRetries:     *retries,
-			CheckpointEvery: *checkpoint,
-		}
+		cfg := specCfg
+		cfg.Adaptive = adaptive
+		return cfg
 	}
 
 	// Probe run: healthy iteration time (to time the fault mid-run) and the

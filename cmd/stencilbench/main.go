@@ -30,15 +30,11 @@ import (
 	"time"
 
 	"github.com/nodeaware/stencil/internal/figures"
+	"github.com/nodeaware/stencil/internal/jobspec"
 	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func main() { jobspec.Main(run) }
 
 // benchExperiment is one experiment's rows in the -json output. WallSeconds
 // is how long the simulator itself took to produce the rows, so BENCH.json

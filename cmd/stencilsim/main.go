@@ -13,68 +13,30 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
-	"strconv"
-	"strings"
 
 	stencil "github.com/nodeaware/stencil"
-	"github.com/nodeaware/stencil/internal/machine"
+	"github.com/nodeaware/stencil/internal/jobspec"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func main() { jobspec.Main(run) }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stencilsim", flag.ContinueOnError)
-	nodes := fs.Int("nodes", 1, "number of nodes")
-	ranks := fs.Int("ranks", 6, "MPI ranks per node")
-	domain := fs.String("domain", "1363", "domain extent: N for a cube or XxYxZ")
-	radius := fs.Int("radius", 2, "stencil radius (halo width)")
-	quantities := fs.Int("quantities", 4, "grid quantities")
-	caps := fs.String("caps", "kernel", "capability ladder rung: remote, colo, peer, kernel")
-	cudaAware := fs.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
-	trivial := fs.Bool("trivial-placement", false, "disable node-aware placement")
-	aggregate := fs.Bool("aggregate", false, "aggregate inter-node messages per rank pair")
-	noOverlap := fs.Bool("no-overlap", false, "serialize transfers (ablation)")
-	empirical := fs.Bool("empirical-placement", false, "measure bandwidths for placement")
-	openBoundary := fs.Bool("open-boundary", false, "non-periodic boundaries")
-	faceOnly := fs.Bool("face-only", false, "exchange only the 6 face neighbors")
-	iters := fs.Int("iters", 10, "exchange iterations (paper: 30)")
-	sockets := fs.Int("sockets", 2, "CPU sockets per node")
-	gpusPerSocket := fs.Int("gpus-per-socket", 3, "GPUs per socket")
+	spec := jobspec.Default()
+	spec.BindTopologyFlags(fs)
+	spec.BindMethodFlags(fs)
+	spec.BindRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	dim, err := parseDomain(*domain)
+	dim, err := jobspec.ParseDomain(spec.Domain)
 	if err != nil {
 		return err
 	}
-	capabilities, err := parseCaps(*caps)
+	cfg, err := spec.Config()
 	if err != nil {
 		return err
-	}
-	nodeCfg := machine.NodeConfig{Sockets: *sockets, GPUsPerSocket: *gpusPerSocket}
-
-	cfg := stencil.Config{
-		Nodes:              *nodes,
-		RanksPerNode:       *ranks,
-		Domain:             dim,
-		Radius:             *radius,
-		Quantities:         *quantities,
-		Capabilities:       capabilities,
-		CUDAAware:          *cudaAware,
-		TrivialPlacement:   *trivial,
-		AggregateRemote:    *aggregate,
-		NoOverlap:          *noOverlap,
-		EmpiricalPlacement: *empirical,
-		OpenBoundary:       *openBoundary,
-		FaceOnly:           *faceOnly,
-		NodeConfig:         &nodeCfg,
 	}
 	dd, err := stencil.New(cfg)
 	if err != nil {
@@ -82,9 +44,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "configuration: %dn/%dr/%dg domain %v radius %d quantities %d caps %s\n",
-		*nodes, *ranks, nodeCfg.GPUs(), dim, *radius, *quantities, *caps)
+		spec.Nodes, spec.RanksPerNode, cfg.NodeConfig.GPUs(), dim, spec.Radius, spec.Quantities, spec.Caps)
 	fmt.Fprintf(out, "subdomain grid: %v (%d subdomains)\n", dd.GridDims(), dd.NumSubdomains())
-	if !*trivial {
+	if !spec.TrivialPlacement {
 		fmt.Fprintf(out, "placement (node 0): %v, QAP cost reduction %.1f%% vs trivial\n",
 			dd.Assignment(0), dd.PlacementImprovement(0)*100)
 	}
@@ -98,48 +60,11 @@ func run(args []string, out io.Writer) error {
 	dev, hostB := dd.StagingBytes()
 	fmt.Fprintf(out, "staging buffers: %.1f MB device, %.1f MB pinned host\n", float64(dev)/1e6, float64(hostB)/1e6)
 
-	st := dd.Exchange(*iters)
-	fmt.Fprintf(out, "\nexchange time over %d iterations (max across ranks):\n", *iters)
+	st := dd.Exchange(spec.Iters)
+	fmt.Fprintf(out, "\nexchange time over %d iterations (max across ranks):\n", spec.Iters)
 	fmt.Fprintf(out, "  min  %8.3f ms\n", st.Min()*1e3)
 	fmt.Fprintf(out, "  mean %8.3f ms\n", st.Mean()*1e3)
 	fmt.Fprintf(out, "  max  %8.3f ms\n", st.Max()*1e3)
 	fmt.Fprintf(out, "bytes per exchange: %.1f MB\n", float64(st.TotalBytes)/1e6)
 	return nil
-}
-
-func parseDomain(s string) (stencil.Dim3, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	switch len(parts) {
-	case 1:
-		n, err := strconv.Atoi(parts[0])
-		if err != nil || n < 1 {
-			return stencil.Dim3{}, fmt.Errorf("bad domain %q", s)
-		}
-		return stencil.Dim3{X: n, Y: n, Z: n}, nil
-	case 3:
-		var d [3]int
-		for i, p := range parts {
-			n, err := strconv.Atoi(p)
-			if err != nil || n < 1 {
-				return stencil.Dim3{}, fmt.Errorf("bad domain %q", s)
-			}
-			d[i] = n
-		}
-		return stencil.Dim3{X: d[0], Y: d[1], Z: d[2]}, nil
-	}
-	return stencil.Dim3{}, fmt.Errorf("domain must be N or XxYxZ, got %q", s)
-}
-
-func parseCaps(s string) (stencil.Capabilities, error) {
-	switch strings.ToLower(s) {
-	case "remote":
-		return stencil.CapsRemote(), nil
-	case "colo":
-		return stencil.CapsColo(), nil
-	case "peer":
-		return stencil.CapsPeer(), nil
-	case "kernel", "all":
-		return stencil.CapsAll(), nil
-	}
-	return stencil.Capabilities{}, fmt.Errorf("unknown caps %q (want remote|colo|peer|kernel)", s)
 }

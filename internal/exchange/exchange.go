@@ -124,6 +124,16 @@ type Options struct {
 	NodeConfig *machine.NodeConfig
 	Params     *machine.Params
 
+	// PresetPlacement injects a previously computed phase-2 result: one
+	// subdomain→GPU permutation per node (the shape Assignment(n) returns),
+	// skipping the QAP solve. The solver is deterministic, so a preset taken
+	// from an identical configuration's run reproduces that run bit-exactly;
+	// this is how the serving layer's setup cache shares placement work
+	// across jobs that differ only in scenario or run length. The preset
+	// must match the configuration (Nodes entries of GPUs-per-node length,
+	// each a permutation) or New fails.
+	PresetPlacement [][]int
+
 	// Fault schedules a deterministic fault/degradation scenario on the
 	// virtual clock (see internal/fault): link failures and degradations,
 	// NIC flaps, GPU stragglers, rank pauses. Event times are measured from
@@ -448,6 +458,24 @@ func New(opts Options) (*Exchanger, error) {
 		return nil, fmt.Errorf("exchange: %d GPUs/node not divisible by %d ranks/node", gpusPerNode, opts.RanksPerNode)
 	}
 
+	if pp := opts.PresetPlacement; pp != nil {
+		if len(pp) != opts.Nodes {
+			return nil, fmt.Errorf("exchange: PresetPlacement has %d nodes, config has %d", len(pp), opts.Nodes)
+		}
+		for n, f := range pp {
+			if len(f) != gpusPerNode {
+				return nil, fmt.Errorf("exchange: PresetPlacement node %d has %d entries, want %d", n, len(f), gpusPerNode)
+			}
+			seen := make([]bool, len(f))
+			for _, g := range f {
+				if g < 0 || g >= len(f) || seen[g] {
+					return nil, fmt.Errorf("exchange: PresetPlacement node %d is not a permutation: %v", n, f)
+				}
+				seen[g] = true
+			}
+		}
+	}
+
 	eng := sim.NewEngine()
 	eng.SetWorkers(opts.Workers)
 	m := machine.New(eng, opts.Nodes, nodeCfg, params)
@@ -630,8 +658,18 @@ func (e *Exchanger) place() {
 		if measured != nil {
 			topo = measured
 		}
-		asgn := placement.PlaceBoundary(e.Hier, nodeIdx, topo.Bandwidth,
-			e.Opts.Radius, e.Opts.Quantities, e.Opts.ElemSize, e.Opts.NodeAware, e.Opts.OpenBoundary)
+		var asgn *placement.Assignment
+		if pp := e.Opts.PresetPlacement; pp != nil {
+			// A cached phase-2 result: evaluate its QAP cost (cheap) but
+			// skip the permutation search (the expensive, shareable part).
+			w := placement.FlowMatrixBoundary(e.Hier, nodeIdx, e.Opts.Radius,
+				e.Opts.Quantities, e.Opts.ElemSize, e.Opts.OpenBoundary)
+			d := placement.DistanceMatrix(topo.Bandwidth)
+			asgn = placement.NewAssignment(pp[n], placement.Cost(w, d, pp[n]))
+		} else {
+			asgn = placement.PlaceBoundary(e.Hier, nodeIdx, topo.Bandwidth,
+				e.Opts.Radius, e.Opts.Quantities, e.Opts.ElemSize, e.Opts.NodeAware, e.Opts.OpenBoundary)
+		}
 		e.Assignments = append(e.Assignments, asgn)
 		for s := 0; s < gpusPerNode; s++ {
 			gpuIdx := e.Hier.GPUIndex(s)

@@ -1,0 +1,76 @@
+package exchange
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/part"
+)
+
+func presetOpts() Options {
+	return Options{
+		Nodes:        2,
+		RanksPerNode: 2,
+		Domain:       part.Dim3{X: 48, Y: 48, Z: 48},
+		Radius:       1,
+		Quantities:   2,
+		ElemSize:     4,
+		Caps:         CapsAll(),
+		NodeAware:    true,
+	}
+}
+
+// Injecting the assignments a run computed must reproduce that run exactly:
+// same placement, same plans, same virtual times.
+func TestPresetPlacementReproducesRun(t *testing.T) {
+	cold, err := New(presetOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preset := make([][]int, len(cold.Assignments))
+	for n, a := range cold.Assignments {
+		preset[n] = append([]int(nil), a.SubToGPU...)
+	}
+	coldStats := cold.Run(3)
+
+	opts := presetOpts()
+	opts.PresetPlacement = preset
+	warm, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range preset {
+		if !reflect.DeepEqual(warm.Assignments[n].SubToGPU, preset[n]) {
+			t.Fatalf("node %d: preset %v, got %v", n, preset[n], warm.Assignments[n].SubToGPU)
+		}
+		if warm.Assignments[n].Cost != cold.Assignments[n].Cost {
+			t.Fatalf("node %d: cost %g != computed %g", n, warm.Assignments[n].Cost, cold.Assignments[n].Cost)
+		}
+	}
+	warmStats := warm.Run(3)
+	if !reflect.DeepEqual(coldStats.Iterations, warmStats.Iterations) {
+		t.Fatalf("iteration times differ: cold %v, warm %v", coldStats.Iterations, warmStats.Iterations)
+	}
+	if !reflect.DeepEqual(cold.MethodCounts(), warm.MethodCounts()) {
+		t.Fatalf("method selection differs: cold %v, warm %v", cold.MethodCounts(), warm.MethodCounts())
+	}
+}
+
+func TestPresetPlacementValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		preset [][]int
+	}{
+		{"wrong node count", [][]int{{0, 1, 2, 3, 4, 5}}},
+		{"wrong gpu count", [][]int{{0, 1}, {0, 1}}},
+		{"not a permutation", [][]int{{0, 0, 1, 2, 3, 4}, {0, 1, 2, 3, 4, 5}}},
+		{"out of range", [][]int{{0, 1, 2, 3, 4, 6}, {0, 1, 2, 3, 4, 5}}},
+	}
+	for _, tc := range cases {
+		opts := presetOpts()
+		opts.PresetPlacement = tc.preset
+		if _, err := New(opts); err == nil {
+			t.Errorf("%s: New accepted preset %v", tc.name, tc.preset)
+		}
+	}
+}

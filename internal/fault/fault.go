@@ -154,9 +154,10 @@ func (tk TargetKind) String() string {
 
 // Target names one machine facility.
 type Target struct {
-	Node int
-	Kind TargetKind
-	A, B int // GPU pair, socket pair, GPU, or rank depending on Kind
+	Node int        `json:"node,omitempty"`
+	Kind TargetKind `json:"kind"`
+	A    int        `json:"a,omitempty"` // GPU pair, socket pair, GPU, or rank depending on Kind
+	B    int        `json:"b,omitempty"`
 }
 
 func (t Target) String() string {
@@ -177,12 +178,12 @@ func (t Target) String() string {
 // setup work that already advanced the clock, e.g. a placement
 // microbenchmark).
 type Event struct {
-	At       sim.Time
-	Kind     Kind
-	Target   Target
-	Factor   float64  // LinkDegrade: capacity multiplier; GPUStraggle: slowdown; Msg*: probability; LinkFlap: duty
-	Duration sim.Time // NICFlap outage length; RankPause length; LinkFail>0 auto-recovers; LinkFlap: cycle period
-	Repeat   int      // LinkFlap: number of down/up cycles (0 means 1)
+	At       sim.Time `json:"at"`
+	Kind     Kind     `json:"kind"`
+	Target   Target   `json:"target"`
+	Factor   float64  `json:"factor,omitempty"`   // LinkDegrade: capacity multiplier; GPUStraggle: slowdown; Msg*: probability; LinkFlap: duty
+	Duration sim.Time `json:"duration,omitempty"` // NICFlap outage length; RankPause length; LinkFail>0 auto-recovers; LinkFlap: cycle period
+	Repeat   int      `json:"repeat,omitempty"`   // LinkFlap: number of down/up cycles (0 means 1)
 }
 
 // cycles returns the LinkFlap cycle count with the zero-value default.
@@ -216,9 +217,9 @@ func (e Event) String() string {
 // regardless of event-execution interleaving, because each decision hashes
 // (seed, link, message identity) instead of consuming a shared stream.
 type Scenario struct {
-	Name   string
-	Seed   uint64
-	Events []Event
+	Name   string  `json:"name,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	Events []Event `json:"events"`
 }
 
 // Add appends an event and returns the scenario for chaining.

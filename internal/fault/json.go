@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kinds marshal as their String() names so scenario JSON submitted over the
+// stencilserve API is readable and stable across reorderings of the enum.
+
+var kindNames = func() map[string]Kind {
+	m := make(map[string]Kind, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// MarshalJSON renders the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < 0 || k >= numKinds {
+		return nil, fmt.Errorf("fault: cannot marshal unknown kind %d", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts a kind's string name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("fault: kind must be a string name: %w", err)
+	}
+	v, ok := kindNames[s]
+	if !ok {
+		return fmt.Errorf("fault: unknown kind %q", s)
+	}
+	*k = v
+	return nil
+}
+
+var targetKindNames = map[string]TargetKind{
+	TargetNVLink.String():  TargetNVLink,
+	TargetXBus.String():    TargetXBus,
+	TargetNIC.String():     TargetNIC,
+	TargetGPULink.String(): TargetGPULink,
+	TargetHostMem.String(): TargetHostMem,
+	TargetGPU.String():     TargetGPU,
+	TargetRank.String():    TargetRank,
+}
+
+// MarshalJSON renders the target kind as its string name.
+func (tk TargetKind) MarshalJSON() ([]byte, error) {
+	if _, ok := targetKindNames[tk.String()]; !ok {
+		return nil, fmt.Errorf("fault: cannot marshal unknown target kind %d", int(tk))
+	}
+	return json.Marshal(tk.String())
+}
+
+// UnmarshalJSON accepts a target kind's string name.
+func (tk *TargetKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("fault: target kind must be a string name: %w", err)
+	}
+	v, ok := targetKindNames[s]
+	if !ok {
+		return fmt.Errorf("fault: unknown target kind %q", s)
+	}
+	*tk = v
+	return nil
+}

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// A scenario touching every event and target kind must survive a JSON
+// round-trip unchanged: this is the wire format stencilserve accepts.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := &Scenario{Name: "everything", Seed: 42}
+	sc.KillNVLink(0.001, 0, 0, 1, 0.002)
+	sc.DegradeNIC(0.002, 1, 0.25)
+	sc.FlapNIC(0.003, 0, 0.0005)
+	sc.DegradeXBus(0.004, 0, 0, 1, 0.5)
+	sc.StraggleGPU(0.005, 1, 2, 3.5, 0.001)
+	sc.PauseRank(0.006, 3, 0.0007)
+	sc.KillGPU(0.007, 0, 4)
+	sc.KillRank(0.008, 2)
+	sc.LossyNIC(0.009, 0, 0.1, 0.2, 0.3)
+	sc.FlapNICPeriodic(0.010, 1, 0.001, 0.5, 4)
+	sc.Add(Event{At: 0.011, Kind: LinkDegrade, Factor: 0.3,
+		Target: Target{Node: 0, Kind: TargetGPULink, A: 2}})
+	sc.Add(Event{At: 0.012, Kind: LinkDegrade, Factor: 0.9,
+		Target: Target{Node: 1, Kind: TargetHostMem, A: 1}})
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("source scenario invalid: %v", err)
+	}
+
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Scenario
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*sc, got) {
+		t.Fatalf("round trip changed the scenario:\n  in:  %+v\n  out: %+v", *sc, got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped scenario invalid: %v", err)
+	}
+
+	// A second marshal must be byte-identical (canonical form).
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-marshal not byte-identical:\n  %s\n  %s", b, b2)
+	}
+}
+
+// Kinds marshal as their human-readable names, not enum integers.
+func TestScenarioJSONUsesNames(t *testing.T) {
+	sc := &Scenario{Name: "names"}
+	sc.DropMsgs(0.001, 0, 0.5)
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{`"kind":"msg-drop"`, `"kind":"nic"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("marshal = %s; want it to contain %s", b, want)
+		}
+	}
+}
+
+func TestScenarioJSONUnknownKinds(t *testing.T) {
+	cases := []string{
+		`{"events":[{"at":0,"kind":"warp-core-breach","target":{"kind":"nic"}}]}`,
+		`{"events":[{"at":0,"kind":"nic-flap","target":{"kind":"subspace"}}]}`,
+		`{"events":[{"at":0,"kind":7,"target":{"kind":"nic"}}]}`,
+	}
+	for _, in := range cases {
+		var sc Scenario
+		if err := json.Unmarshal([]byte(in), &sc); err == nil {
+			t.Errorf("unmarshal %s succeeded; want error", in)
+		}
+	}
+}
+
+// Invalid-but-parseable scenarios must be caught by Validate, the layer the
+// HTTP API surfaces as 400 responses.
+func TestScenarioJSONThenValidate(t *testing.T) {
+	in := `{"name":"bad","events":[{"at":-1,"kind":"nic-flap","target":{"kind":"nic"},"duration":0.001}]}`
+	var sc Scenario
+	if err := json.Unmarshal([]byte(in), &sc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative event time")
+	}
+}
+
+func TestKindMarshalUnknownValue(t *testing.T) {
+	if _, err := json.Marshal(Kind(99)); err == nil {
+		t.Error("marshal Kind(99) succeeded; want error")
+	}
+	if _, err := json.Marshal(TargetKind(99)); err == nil {
+		t.Error("marshal TargetKind(99) succeeded; want error")
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the lock-striping fan-out of a Cache. Shard selection
+// hashes the key, so hot tenants hammering different jobs contend on
+// different locks.
+const cacheShards = 16
+
+// Cache is a sharded, bounded, content-addressed in-memory cache. Keys are
+// canonical hashes (jobspec.Hash / jobspec.SetupHash), so a hit is correct
+// by construction: the deterministic engine maps equal keys to equal values.
+//
+// Eviction is per-shard and approximate (a random victim from the shard's
+// map when it exceeds its share of MaxEntries). Eviction order affects only
+// hit rate, never correctness — a re-computed value is byte-identical to the
+// evicted one.
+type Cache[V any] struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[string]V
+	}
+	maxPerShard int
+	hits        atomic.Int64
+	misses      atomic.Int64
+}
+
+// NewCache creates a cache bounded to roughly maxEntries values
+// (0 = 4096).
+func NewCache[V any](maxEntries int) *Cache[V] {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	c := &Cache[V]{maxPerShard: (maxEntries + cacheShards - 1) / cacheShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]V)
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(key string) *struct {
+	mu sync.Mutex
+	m  map[string]V
+} {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// Get returns the cached value and whether it was present, counting the
+// lookup in the hit/miss statistics.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores a value, evicting an arbitrary entry if the shard is full.
+func (c *Cache[V]) Put(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok && len(s.m) >= c.maxPerShard {
+		for k := range s.m {
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[key] = v
+}
+
+// Len returns the total number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// resultEntry is a whole-result cache value: the deterministic result
+// document and the run's telemetry event log (both byte-identical across
+// identical jobs).
+type resultEntry struct {
+	result []byte
+	events []byte
+}

@@ -1,0 +1,542 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/fault"
+	"github.com/nodeaware/stencil/internal/jobspec"
+)
+
+// tinySpec is a job small enough to run thousands of times in a test.
+func tinySpec() *jobspec.Spec {
+	s := jobspec.Default()
+	s.RanksPerNode = 2
+	s.Domain = "12"
+	s.Radius = 1
+	s.Quantities = 1
+	s.Iters = 2
+	return s
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, tenant string, spec *jobspec.Spec, query string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestSubmitWaitResult(t *testing.T) {
+	s := NewServer(Config{Workers: 2})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postSpec(t, ts, "alice", tinySpec(), "?wait=1")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %q after wait, want done (%s)", st.State, body)
+	}
+	if st.SpecHash == "" || st.SetupHash == "" {
+		t.Fatalf("missing hashes in status: %s", body)
+	}
+
+	resp, body = get(t, ts, "/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != ResultSchema || res.SpecHash != st.SpecHash {
+		t.Fatalf("result doc mismatch: schema %q spec_hash %q", res.Schema, res.SpecHash)
+	}
+	if len(res.IterationsSeconds) != 2 || res.MeanSeconds <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+// Resubmitting an identical job must be served from the result cache with
+// byte-identical result and event bodies — the acceptance criterion of the
+// whole-result cache.
+func TestResultCacheByteIdentical(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids [2]string
+	for i := range ids {
+		resp, body := postSpec(t, ts, "alice", tinySpec(), "?wait=1")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+		wantCache := ""
+		if i == 1 {
+			wantCache = "result"
+		}
+		if st.Cache != wantCache {
+			t.Fatalf("submit %d: cache %q, want %q", i, st.Cache, wantCache)
+		}
+	}
+
+	var results, events [2][]byte
+	for i, id := range ids {
+		resp, body := get(t, ts, "/v1/jobs/"+id+"/result")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result %s: %d", id, resp.StatusCode)
+		}
+		results[i] = body
+		resp, body = get(t, ts, "/v1/jobs/"+id+"/events")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events %s: %d", id, resp.StatusCode)
+		}
+		events[i] = body
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Errorf("result bodies differ:\n%s\nvs\n%s", results[0], results[1])
+	}
+	// Event streams differ only in lifecycle lines' cache annotation; the
+	// telemetry block between them must be byte-identical.
+	if !bytes.Equal(stripLifecycle(events[0]), stripLifecycle(events[1])) {
+		t.Errorf("telemetry event bytes differ between cold and cached run")
+	}
+	if hits, _, _, _ := s.CacheStats(); hits != 1 {
+		t.Errorf("result cache hits = %d, want 1", hits)
+	}
+}
+
+// stripLifecycle drops the serve-layer state lines, leaving the engine's
+// telemetry events.
+func stripLifecycle(stream []byte) []byte {
+	var out [][]byte
+	for _, line := range bytes.Split(stream, []byte("\n")) {
+		if len(line) == 0 || bytes.Contains(line, []byte(`"kind":"state"`)) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return bytes.Join(out, []byte("\n"))
+}
+
+// Jobs sharing setup (same topology/partition inputs) but differing in run
+// shape must hit the setup cache, and the warm run must produce exactly the
+// bytes a cold run of the same spec would.
+func TestSetupCacheReuse(t *testing.T) {
+	a := tinySpec()
+	b := tinySpec()
+	b.Iters = 3 // different job hash, same setup hash
+
+	// Cold reference for b on a fresh server (no caches warm).
+	ref := NewServer(Config{Workers: 1})
+	jRef, err := ref.Submit("", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jRef.Wait()
+	refBytes, _ := jRef.Result()
+	ref.Drain()
+
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	jA, err := s.Submit("", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA.Wait()
+	jB, err := s.Submit("", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := jB.Wait(); st != StateDone {
+		t.Fatalf("warm job state %q", st)
+	}
+	if jB.status(false).Cache != "setup" {
+		t.Fatalf("warm job cache %q, want setup", jB.status(false).Cache)
+	}
+	warmBytes, _ := jB.Result()
+	if !bytes.Equal(refBytes, warmBytes) {
+		t.Errorf("setup-cached run differs from cold run:\n%s\nvs\n%s", refBytes, warmBytes)
+	}
+	if _, _, setupHits, _ := s.CacheStats(); setupHits != 1 {
+		t.Errorf("setup cache hits = %d, want 1", setupHits)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown field", `{"nodes": 1, "ranks_per_node": 2, "domain": "12", "radius": 1, "quantities": 1, "bogus": 1}`, "bogus"},
+		{"bad caps", `{"nodes": 1, "ranks_per_node": 2, "domain": "12", "radius": 1, "quantities": 1, "caps": "warp"}`, "caps"},
+		{"indivisible ranks", `{"nodes": 1, "ranks_per_node": 4, "domain": "12", "radius": 1, "quantities": 1}`, "divisible"},
+		{"bad scenario kind", `{"nodes": 1, "ranks_per_node": 2, "domain": "12", "radius": 1, "quantities": 1,
+			"scenario": {"events": [{"at": 1, "kind": "explode-node", "target": {"kind": "nic"}}]}}`, "explode-node"},
+		{"negative scenario time", `{"nodes": 1, "ranks_per_node": 2, "domain": "12", "radius": 1, "quantities": 1,
+			"scenario": {"events": [{"at": -1, "kind": "link-fail", "target": {"kind": "nvlink", "a": 0, "b": 1}}]}}`, "negative"},
+		{"fatal without checkpoint", `{"nodes": 1, "ranks_per_node": 2, "domain": "12", "radius": 1, "quantities": 1,
+			"scenario": {"events": [{"at": 1, "kind": "gpu-fail", "target": {"kind": "gpu", "a": 0}}]}}`, "checkpoint_every"},
+	}
+	for _, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, b)
+			continue
+		}
+		var he httpError
+		if err := json.Unmarshal(b, &he); err != nil || he.Error == "" {
+			t.Errorf("%s: 400 body not an error document: %s", tc.name, b)
+			continue
+		}
+		if !strings.Contains(he.Error, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, he.Error, tc.want)
+		}
+	}
+}
+
+// A valid scenario submitted over HTTP must round-trip into the engine and
+// leave its trace in the result's fault log.
+func TestScenarioJobRuns(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := tinySpec()
+	spec.Iters = 4
+	sc := &fault.Scenario{Name: "one-degrade"}
+	sc.DegradeNIC(2e-4, 0, 0.5)
+	spec.Scenario = sc
+
+	resp, body := postSpec(t, ts, "", spec, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	json.Unmarshal(body, &st)
+	if st.State != StateDone {
+		t.Fatalf("state %q (%s)", st.State, body)
+	}
+	_, body = get(t, ts, "/v1/jobs/"+st.ID+"/result")
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FaultLog) == 0 {
+		t.Errorf("scenario job produced no fault log: %s", body)
+	}
+}
+
+func TestCancelQueuedOnly(t *testing.T) {
+	// No workers: jobs stay queued, so transitions are deterministic.
+	s := NewServer(Config{Workers: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postSpec(t, ts, "", tinySpec(), "")
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %d %s", resp.StatusCode, b)
+	}
+	var cst Status
+	json.Unmarshal(b, &cst)
+	if cst.State != StateCancelled {
+		t.Fatalf("state %q, want cancelled", cst.State)
+	}
+	if s.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after cancel", s.QueueDepth())
+	}
+
+	// Cancelling a terminal job conflicts.
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel cancelled: %d, want 409", resp.StatusCode)
+	}
+
+	// The events stream of a cancelled job terminates.
+	resp, b = get(t, ts, "/v1/jobs/"+st.ID+"/events")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte(`"cancelled"`)) {
+		t.Fatalf("events after cancel: %d %s", resp.StatusCode, b)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	s := NewServer(Config{Workers: -1, QueueDepth: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		if resp, body := postSpec(t, ts, "", tinySpec(), ""); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := postSpec(t, ts, "", tinySpec(), "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if got := len(s.Jobs("")); got != 2 {
+		t.Fatalf("rejected job left in registry: %d jobs listed", got)
+	}
+}
+
+func TestFairQueueRotation(t *testing.T) {
+	q := newFairQueue(0)
+	// Tenant a floods; b and c each submit one job. Round-robin must serve
+	// b and c within the first three pops.
+	for i := 0; i < 5; i++ {
+		q.push(&Job{ID: fmt.Sprintf("a%d", i), Tenant: "a"})
+	}
+	q.push(&Job{ID: "b0", Tenant: "b"})
+	q.push(&Job{ID: "c0", Tenant: "c"})
+
+	var order []string
+	for i := 0; i < 7; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		order = append(order, j.ID)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos["b0"] > 2 || pos["c0"] > 2 {
+		t.Fatalf("flooded tenants starved the small ones: order %v", order)
+	}
+	// Within tenant a, FIFO order must hold.
+	last := -1
+	for i := 0; i < 5; i++ {
+		p := pos[fmt.Sprintf("a%d", i)]
+		if p < last {
+			t.Fatalf("tenant FIFO violated: order %v", order)
+		}
+		last = p
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit("t", tinySpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	s.Drain()
+	for _, j := range jobs {
+		if st := j.State(); st != StateDone {
+			t.Errorf("job %s state %q after drain", j.ID, st)
+		}
+	}
+	if _, err := s.Submit("t", tinySpec()); err != ErrDraining {
+		t.Errorf("submit after drain: %v, want ErrDraining", err)
+	}
+	resp, _ := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while drained: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestListAndTenants(t *testing.T) {
+	s := NewServer(Config{Workers: 2})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tenant := range []string{"a", "a", "b"} {
+		if resp, body := postSpec(t, ts, tenant, tinySpec(), "?wait=1"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, body)
+		}
+	}
+	_, body := get(t, ts, "/v1/jobs?tenant=a")
+	var list []Status
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("tenant a sees %d jobs, want 2: %s", len(list), body)
+	}
+	_, body = get(t, ts, "/v1/jobs")
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("unfiltered list has %d jobs, want 3", len(list))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		postSpec(t, ts, "", tinySpec(), "?wait=1")
+	}
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"stencilserve_jobs_submitted_total",
+		`stencilserve_jobs_completed_total{cache="result"} 1`,
+		"stencilserve_result_cache_hits 1",
+		"stencilserve_queue_depth 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeLoad is the ISSUE acceptance criterion: >= 1000 concurrent job
+// submissions complete without deadlock under -race, with the result cache
+// absorbing the duplicates and every duplicate byte-identical.
+func TestServeLoad(t *testing.T) {
+	const jobs = 1000
+	s := NewServer(Config{QueueDepth: jobs + 64})
+	defer s.Drain()
+
+	// Eight distinct specs; every other submission is a duplicate the
+	// result cache can serve once its first instance lands.
+	specs := make([]*jobspec.Spec, 8)
+	for i := range specs {
+		sp := tinySpec()
+		sp.Iters = 1 + i%4
+		sp.Radius = 1 + i/4
+		specs[i] = sp
+	}
+
+	var wg sync.WaitGroup
+	done := make([]*Job, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := *specs[i%len(specs)] // copy: Submit normalizes in place
+			j, err := s.Submit(fmt.Sprintf("tenant-%d", i%5), &sp)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			j.Wait()
+			done[i] = j
+		}(i)
+	}
+	wg.Wait()
+
+	byHash := map[string][]byte{}
+	for i, j := range done {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if st := j.State(); st != StateDone {
+			t.Fatalf("job %s state %q", j.ID, st)
+		}
+		res, _ := j.Result()
+		if prev, ok := byHash[j.Hash]; ok {
+			if !bytes.Equal(prev, res) {
+				t.Fatalf("hash %s: result bytes differ between jobs", j.Hash[:12])
+			}
+		} else {
+			byHash[j.Hash] = res
+		}
+	}
+	if len(byHash) != len(specs) {
+		t.Errorf("saw %d distinct results, want %d", len(byHash), len(specs))
+	}
+	hits, misses, _, _ := s.CacheStats()
+	if hits+misses != jobs {
+		t.Errorf("result cache lookups %d, want %d", hits+misses, jobs)
+	}
+	// With 8 specs and 1000 jobs, the vast majority must be cache hits
+	// (several duplicates may race past the first Put, hence the slack).
+	if hits < jobs/2 {
+		t.Errorf("result cache hits %d of %d, expected most submissions to hit", hits, jobs)
+	}
+}

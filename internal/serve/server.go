@@ -1,0 +1,432 @@
+// Package serve is stencilserve's core: a multi-tenant simulation job
+// service over the deterministic stencil engine.
+//
+// Jobs are jobspec.Spec documents submitted over HTTP/JSON. A sharded worker
+// pool runs each job on a fresh, isolated engine; per-tenant fair queueing
+// bounds how much one tenant can delay another, and a bounded queue applies
+// backpressure (429) under overload.
+//
+// Determinism is the load-bearing property. The engine maps a normalized
+// spec to byte-identical result and event bytes on every run, which makes
+// two cache layers correct by construction:
+//
+//   - the result cache (key: jobspec.Hash) replays whole result documents
+//     without running an engine at all, and
+//   - the setup cache (key: jobspec.SetupHash) reuses the phase-2 placement
+//     across jobs that differ only in scenario or run length, injected via
+//     stencil.Config.PresetPlacement. The QAP solver is deterministic, so an
+//     injected placement reproduces the computed one bit-exactly.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/nodeaware/stencil/internal/jobspec"
+	"github.com/nodeaware/stencil/internal/telemetry"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Workers is the worker-pool size; 0 uses GOMAXPROCS. Negative starts
+	// no workers at all, so jobs stay queued — a test hook for exercising
+	// queue-state transitions deterministically.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs across
+	// all tenants; 0 defaults to 1024. Submissions beyond it get 429.
+	QueueDepth int
+	// ResultCacheEntries and SetupCacheEntries bound the two caches;
+	// 0 defaults to 4096 each.
+	ResultCacheEntries int
+	SetupCacheEntries  int
+}
+
+// Server owns the queue, the worker pool, the job registry, and the caches.
+type Server struct {
+	cfg     Config
+	queue   *fairQueue
+	results *Cache[resultEntry]
+	setups  *Cache[[][]int]
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int
+
+	// The telemetry recorder is not thread-safe (it is built for the
+	// engine's single-threaded event loop), so every access goes through
+	// telMu.
+	telMu sync.Mutex
+	tel   *telemetry.Recorder
+
+	draining bool
+	wg       sync.WaitGroup
+
+	// now is the wall clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewServer starts the worker pool and returns a ready server.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	} else if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   newFairQueue(cfg.QueueDepth),
+		results: NewCache[resultEntry](cfg.ResultCacheEntries),
+		setups:  NewCache[[][]int](cfg.SetupCacheEntries),
+		jobs:    make(map[string]*Job),
+		tel:     telemetry.New(),
+		now:     time.Now,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates, registers, and enqueues a job. It is the programmatic
+// form of POST /v1/jobs; the HTTP layer maps the error to a status code
+// (validation → 400, ErrQueueFull → 429, ErrDraining → 503).
+func (s *Server) Submit(tenant string, spec *jobspec.Spec) (*Job, error) {
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	setupHash, err := spec.SetupHash()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, tenant, spec, hash, setupHash, s.now())
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if err := s.queue.push(j); err != nil {
+		// Roll back the registration; the ID is burned, which is harmless.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.count("stencilserve_jobs_submitted_total", telemetry.Label{Key: "tenant", Value: tenant})
+	return j, nil
+}
+
+// Job returns a registered job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists job statuses in submission order, optionally filtered by
+// tenant.
+func (s *Server) Jobs(tenant string) []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		if tenant != "" && j.Tenant != tenant {
+			continue
+		}
+		out = append(out, j.status(false))
+	}
+	return out
+}
+
+// Cancel cancels a queued job. Running jobs cannot be interrupted (the
+// engine has no preemption point); done jobs are final. Both report false.
+func (s *Server) Cancel(id string) (Status, bool, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return Status{}, false, fmt.Errorf("serve: no job %q", id)
+	}
+	// Remove-then-cancel: once remove succeeds no worker can pop the job,
+	// so the queued→cancelled transition cannot race a start.
+	if s.queue.remove(j) && j.cancel(s.now()) {
+		s.count("stencilserve_jobs_cancelled_total")
+		return j.status(false), true, nil
+	}
+	return j.status(false), false, nil
+}
+
+// Drain stops intake (new submissions get 503), lets the workers finish
+// every queued and running job, and returns when the pool is idle. The
+// SIGTERM path of cmd/stencilserve.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+	s.wg.Wait()
+}
+
+// worker pops jobs in tenant-fair order until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job through the cache layers and the engine.
+func (s *Server) execute(j *Job) {
+	j.start(s.now())
+
+	// Layer 1: whole-result cache. A hit replays the stored bytes — no
+	// engine run at all. Correct because Hash determines the result bytes.
+	if e, ok := s.results.Get(j.Hash); ok {
+		j.finish(s.now(), e.result, e.events, nil, true, false)
+		s.count("stencilserve_jobs_completed_total", telemetry.Label{Key: "cache", Value: "result"})
+		return
+	}
+
+	// Layer 2: setup cache. A hit injects the cached phase-2 placement and
+	// skips the QAP solve; the run itself still happens.
+	var preset [][]int
+	usedSetup := false
+	if j.Spec.CacheableSetup() {
+		if p, ok := s.setups.Get(j.SetupHash); ok {
+			preset = p
+			usedSetup = true
+		}
+	}
+
+	out, err := runJob(j.Spec, j.Hash, preset)
+	if err != nil {
+		j.finish(s.now(), nil, nil, err, false, usedSetup)
+		s.count("stencilserve_jobs_failed_total")
+		return
+	}
+	s.results.Put(j.Hash, resultEntry{result: out.result, events: out.events})
+	if !usedSetup && out.assignments != nil {
+		s.setups.Put(j.SetupHash, out.assignments)
+	}
+	s.observeVirtual(out.virtualSeconds)
+	j.finish(s.now(), out.result, out.events, nil, false, usedSetup)
+	label := "none"
+	if usedSetup {
+		label = "setup"
+	}
+	s.count("stencilserve_jobs_completed_total", telemetry.Label{Key: "cache", Value: label})
+}
+
+// count bumps a server counter under the recorder mutex.
+func (s *Server) count(name string, labels ...telemetry.Label) {
+	s.telMu.Lock()
+	s.tel.Counter(name, labels...).Inc()
+	s.telMu.Unlock()
+}
+
+// observeVirtual accumulates simulated seconds served from real engine runs.
+func (s *Server) observeVirtual(sec float64) {
+	s.telMu.Lock()
+	s.tel.Counter("stencilserve_virtual_seconds_total").Add(sec)
+	s.telMu.Unlock()
+}
+
+// CacheStats reports both caches' cumulative hit/miss counters.
+func (s *Server) CacheStats() (resultHits, resultMisses, setupHits, setupMisses int64) {
+	resultHits, resultMisses = s.results.Stats()
+	setupHits, setupMisses = s.setups.Stats()
+	return
+}
+
+// QueueDepth reports the number of queued jobs.
+func (s *Server) QueueDepth() int { return s.queue.depth() }
+
+// ---- HTTP layer ----
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs            submit (body: jobspec.Spec JSON; X-Tenant header)
+//	GET    /v1/jobs            list statuses (?tenant= filters)
+//	GET    /v1/jobs/{id}       status with spec
+//	GET    /v1/jobs/{id}/result  deterministic result document (409 until done)
+//	GET    /v1/jobs/{id}/events  NDJSON stream, follows a live job
+//	DELETE /v1/jobs/{id}       cancel a queued job (409 if running/done)
+//	GET    /metrics            Prometheus text
+//	GET    /healthz            200, or 503 when draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError is the JSON error body every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec := &jobspec.Spec{}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad spec: %w", err))
+		return
+	}
+	j, err := s.Submit(r.Header.Get("X-Tenant"), spec)
+	switch {
+	case err == ErrQueueFull:
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		// Everything else is a spec the engine would reject: 400.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		j.Wait()
+	}
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs(r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status(true))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	result, state := j.Result()
+	if state != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s is %s", j.ID, state))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(result)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	j.Stream(w)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st, cancelled, err := s.Cancel(j.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !cancelled {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s is %s; only queued jobs can be cancelled", j.ID, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Point-in-time gauges are set at scrape so the recorder stays simple.
+	resH, resM, setH, setM := s.CacheStats()
+	s.telMu.Lock()
+	defer s.telMu.Unlock()
+	s.tel.Gauge("stencilserve_queue_depth").Set(float64(s.QueueDepth()))
+	s.tel.Gauge("stencilserve_result_cache_hits").Set(float64(resH))
+	s.tel.Gauge("stencilserve_result_cache_misses").Set(float64(resM))
+	s.tel.Gauge("stencilserve_setup_cache_hits").Set(float64(setH))
+	s.tel.Gauge("stencilserve_setup_cache_misses").Set(float64(setM))
+	s.tel.Gauge("stencilserve_result_cache_entries").Set(float64(s.results.Len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.tel.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
