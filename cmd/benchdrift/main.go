@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	benchdrift -ref results/BENCH-smoke.json -got /tmp/BENCH-new.json [-tol 0.20]
+//	benchdrift -ref results/BENCH-smoke.json -got /tmp/BENCH-new.json [-tol 0.20] [-overlap-min 1.2]
 //
 // Both files are stencilbench -json reports. Every reference row with a
 // nonzero simulated time must exist in the new report (matched by experiment
@@ -11,6 +11,14 @@
 // host — while simulated (virtual) times are deterministic, so drift beyond
 // the tolerance means the simulation's behavior changed and the reference
 // must be regenerated deliberately.
+//
+// -overlap-min additionally gates the overlap experiment's paired rows: for
+// every "<config>/barrier" row in the NEW report with a "<config>/overlap"
+// twin (same experiment and caps), the barrier/overlap total-virtual-time
+// ratio must be at least the given factor. This pins the PR's acceptance
+// criterion — the pipelined exchange stays >= 1.2x faster end-to-end — so a
+// regression in the overlap path fails CI even when both rows drift
+// together.
 //
 // Exit status: 0 when every row is within tolerance, 1 otherwise.
 package main
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 )
 
 // row and report mirror the subset of cmd/stencilbench's -json schema that
@@ -77,6 +86,7 @@ func run(args []string) error {
 	refPath := fs.String("ref", "", "reference stencilbench -json report (checked in)")
 	gotPath := fs.String("got", "", "freshly generated stencilbench -json report")
 	tol := fs.Float64("tol", 0.20, "maximum relative drift of simulated times")
+	overlapMin := fs.Float64("overlap-min", 0, "minimum barrier/overlap speedup for paired */barrier and */overlap rows (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +128,31 @@ func run(args []string) error {
 	}
 	if total == 0 {
 		return fmt.Errorf("benchdrift: no comparable rows in %s", *refPath)
+	}
+	if *overlapMin > 0 {
+		pairs := 0
+		for k, barrier := range gotIdx {
+			if !strings.HasSuffix(k.config, "/barrier") {
+				continue
+			}
+			ok := key{k.exp, strings.TrimSuffix(k.config, "/barrier") + "/overlap", k.caps}
+			overlap, found := gotIdx[ok]
+			if !found || overlap == 0 {
+				fmt.Printf("MISSING %s %s %s (no overlap twin for the barrier row)\n", k.exp, k.config, k.caps)
+				failures++
+				continue
+			}
+			pairs++
+			if speedup := barrier / overlap; speedup < *overlapMin {
+				fmt.Printf("SLOW    %s %s %s: overlap speedup %.2fx < required %.2fx\n",
+					k.exp, ok.config, k.caps, speedup, *overlapMin)
+				failures++
+			}
+		}
+		if pairs == 0 {
+			return fmt.Errorf("benchdrift: -overlap-min given but no barrier/overlap row pairs in %s", *gotPath)
+		}
+		fmt.Printf("benchdrift: %d overlap pairs at or above %.2fx\n", pairs, *overlapMin)
 	}
 	if failures > 0 {
 		return fmt.Errorf("benchdrift: %d of %d rows outside %.0f%% tolerance", failures, total, *tol*100)

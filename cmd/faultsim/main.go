@@ -60,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	outageIters := fs.Float64("outage-iters", 2, "recovery scenarios: outage length in (healthy) iterations")
 	factor := fs.Float64("factor", 0.1, "degradation factor (degrade scenarios) or slowdown (gpu-straggle: 1/factor)")
 	cudaAware := fs.Bool("cuda-aware", false, "use CUDA-aware MPI for remote messages")
+	overlap := fs.Bool("overlap", false, "overlap interior compute with halo exchange (per-quadrant readiness)")
 	verify := fs.Bool("verify", false, "move real bytes and verify halos (small domains only)")
 	timeout := fs.Float64("send-timeout", 0, "MPI send timeout in seconds (0 disables retry)")
 	drop := fs.Float64("drop", 0, "per-message drop probability on every node's NIC (arms the reliable envelope)")
@@ -120,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		Quantities:      *quantities,
 		Caps:            "kernel",
 		CUDAAware:       *cudaAware,
+		Overlap:         *overlap,
 		Verify:          *verify,
 		Iters:           *iters,
 		SendTimeout:     *timeout,

@@ -67,7 +67,7 @@ type benchReport struct {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stencilbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, compare, metrics, all)")
+	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, overlap, compare, metrics, all)")
 	maxNodes := fs.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
 	iters := fs.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
 	jsonPath := fs.String("json", "", "also write the rows as JSON to this file (e.g. results/BENCH.json)")
@@ -101,10 +101,11 @@ func run(args []string, out io.Writer) error {
 		"fig13":    func() ([]figures.Row, error) { return figures.Fig13(*maxNodes, *iters) },
 		"compare":  func() ([]figures.Row, error) { return figures.Compare(*iters, *parallel) },
 		"fastpath": func() ([]figures.Row, error) { return figures.FastPath(*iters, seedWall64) },
+		"overlap":  func() ([]figures.Row, error) { return figures.Overlap(*iters) },
 	}
 	// "compare" is opt-in (not part of "all"): it re-runs configurations
 	// twice to measure the simulator itself rather than the modeled machine.
-	order := []string{"table1", "fig3", "fig11", "fig12a", "fig12b", "fig12c", "fig13", "fastpath"}
+	order := []string{"table1", "fig3", "fig11", "fig12a", "fig12b", "fig12c", "fig13", "fastpath", "overlap"}
 
 	which := order
 	if *experiment != "all" {

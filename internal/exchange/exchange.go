@@ -115,6 +115,29 @@ type Options struct {
 	// driven to completion before the next is issued (ablation baseline).
 	NoOverlap bool
 
+	// Overlap enables compute/communication overlap via persistent exchange
+	// plans (see overlap.go): each iteration's transfer plan is registered
+	// once as per-plan readiness state, inter-node STAGED messages ride
+	// persistent MPI channels whose receivers are released at payload
+	// acceptance (not at the sender's ACK), interior ("core") compute runs
+	// while halos are in flight, and border compute is gated per subdomain on
+	// the verified arrival of exactly the halos it reads — replacing the
+	// global verification safe-point barrier of RunWithCompute with
+	// per-quadrant safe points and pipelined verification. Final domain and
+	// halo bytes are identical to barrier mode (the pipeline changes when
+	// work happens, never what it computes; see DESIGN.md §11). Incompatible
+	// with NoOverlap, AggregateRemote, AdaptPlacement, and CUDAAware.
+	Overlap bool
+
+	// Preempt, when set, is polled by the coordinator once per iteration at
+	// its safe point; when it returns true every rank exits uniformly at the
+	// next loop-top barrier and the run returns early with the iterations
+	// completed so far (Preempted() reports it). This is the engine-loop
+	// preemption hook the serving layer's job cancellation uses; it reads
+	// host state, so runs that are actually preempted are not reproducible —
+	// runs whose Preempt never fires are byte-identical to runs without it.
+	Preempt func() bool
+
 	// EmpiricalPlacement derives the placement distance matrix from a
 	// pairwise transfer microbenchmark instead of the vendor topology query
 	// (§VI: "investigate if empirical measurements provide better results").
@@ -351,6 +374,15 @@ type Exchanger struct {
 	groups      []*msgGroup
 	groupStates map[slotKey]*groupState
 
+	// Per-iteration readiness ledgers for compute/communication overlap
+	// (Options.Overlap); see overlap.go.
+	overlapStates map[int]*overlapIterState
+
+	// stopped is latched by the coordinator when Options.Preempt reports a
+	// cancellation; every rank observes it at the next loop-top barrier and
+	// exits uniformly.
+	stopped bool
+
 	// Trace is populated when Opts.TraceOps is set.
 	Trace []cudart.OpRecord
 
@@ -427,6 +459,20 @@ func New(opts Options) (*Exchanger, error) {
 	}
 	if opts.AdaptPlacement && opts.AggregateRemote {
 		return nil, fmt.Errorf("exchange: AdaptPlacement is incompatible with AggregateRemote (aggregated messages pin rank pairs)")
+	}
+	if opts.Overlap {
+		if opts.NoOverlap {
+			return nil, fmt.Errorf("exchange: Overlap is incompatible with NoOverlap")
+		}
+		if opts.AggregateRemote {
+			return nil, fmt.Errorf("exchange: Overlap is incompatible with AggregateRemote (aggregated messages have no per-quadrant arrival)")
+		}
+		if opts.AdaptPlacement {
+			return nil, fmt.Errorf("exchange: Overlap is incompatible with AdaptPlacement (live re-placement needs the global quiescent safe point)")
+		}
+		if opts.CUDAAware {
+			return nil, fmt.Errorf("exchange: Overlap is incompatible with CUDAAware (device-wide MPI synchronization would deadlock against gated border kernels)")
+		}
 	}
 	if opts.AdaptThreshold < 0 || opts.AdaptThreshold > 1 {
 		return nil, fmt.Errorf("exchange: AdaptThreshold %g outside [0, 1]", opts.AdaptThreshold)
@@ -522,15 +568,16 @@ func New(opts Options) (*Exchanger, error) {
 	}
 
 	e := &Exchanger{
-		Eng:         eng,
-		M:           m,
-		RT:          rt,
-		W:           w,
-		Hier:        h,
-		Opts:        opts,
-		gpusPerRank: gpusPerNode / opts.RanksPerNode,
-		slots:       make(map[slotKey]*sim.Signal),
-		groupStates: make(map[slotKey]*groupState),
+		Eng:           eng,
+		M:             m,
+		RT:            rt,
+		W:             w,
+		Hier:          h,
+		Opts:          opts,
+		gpusPerRank:   gpusPerNode / opts.RanksPerNode,
+		slots:         make(map[slotKey]*sim.Signal),
+		groupStates:   make(map[slotKey]*groupState),
+		overlapStates: make(map[int]*overlapIterState),
 	}
 	nbhd := opts.Neighborhood
 	if opts.FaceOnly {

@@ -303,9 +303,12 @@ func (rc *recovery) performRecovery(p *sim.Proc, rp *recoveryPlan) {
 	e.adaptSeen = e.M.Net.Mutations() + 1
 
 	// 6. Per-iteration rendezvous state from the doomed attempt has fired
-	// signals the replay would trip over; drop it.
+	// signals the replay would trip over; drop it. Overlap readiness ledgers
+	// additionally reference pre-rebuild plans, so replayed iterations must
+	// get fresh ones (their verify pumps drain the doomed attempt and exit).
 	e.slots = make(map[slotKey]*sim.Signal)
 	e.groupStates = make(map[slotKey]*groupState)
+	e.overlapStates = make(map[int]*overlapIterState)
 
 	if tel != nil {
 		tel.Counter("rollback_total").Inc()

@@ -393,6 +393,7 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 			if rc != nil {
 				rc.atSafePoint(it)
 			}
+			e.pollPreempt()
 		}
 		if compute == nil {
 			return
@@ -424,6 +425,11 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 		}
 		sim.WaitAll(p, done...)
 	}
+	if e.Opts.Overlap {
+		// Pipelined per-quadrant iteration body (overlap.go): same loop
+		// skeleton, no global verification barrier.
+		body = e.overlapBody(times, ar, runSpan, rc, compute)
+	}
 
 	for r := 0; r < e.W.Size(); r++ {
 		if e.W.Deactivated(r) {
@@ -434,6 +440,9 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 			if rc == nil {
 				for it := 0; it < iterations; it++ {
 					e.W.Barrier(p)
+					if e.stopped {
+						return
+					}
 					body(p, rank, it)
 				}
 				return
@@ -452,6 +461,9 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 			it, lastHandled := 0, 0
 			for {
 				e.W.Barrier(p)
+				if e.stopped {
+					return
+				}
 				exit, resume := rc.atRecoveryLine(p, rank, &lastHandled)
 				if exit {
 					return
@@ -480,5 +492,6 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 	// Free the per-iteration rendezvous state.
 	e.slots = make(map[slotKey]*sim.Signal)
 	e.groupStates = make(map[slotKey]*groupState)
+	e.overlapStates = make(map[int]*overlapIterState)
 	return newStats(e, times)
 }

@@ -236,6 +236,51 @@ func MetricsLadder(iters int) ([]Row, *telemetry.Report, error) {
 	return rows, rep, nil
 }
 
+// Overlap measures the compute/communication overlap pipeline on the
+// 64-node weak-scaling ladder with reliable delivery on: each capability
+// rung runs the same configuration twice with one compute kernel per
+// subdomain per iteration — barrier-gated (the global safe-point barrier
+// between exchange and compute) and pipelined (Options.Overlap: interior
+// compute launched while halos are in flight, border cells gated on
+// per-quadrant verified arrival).
+//
+// Unlike the fig12 experiments, Seconds is the TOTAL virtual time of the
+// run, not the per-iteration exchange minimum: overlap does not make the
+// exchange itself faster, it hides it under the interior update, so the
+// end-to-end clock is the quantity the pipeline improves. Rows come in
+// pairs, "<config>/barrier" then "<config>/overlap", the overlap row's
+// Extra reporting the speedup against its barrier twin.
+func Overlap(iters int) ([]Row, error) {
+	const nodes = 64
+	edge := CubeEdge(nodes * 6)
+	var rows []Row
+	for _, caps := range Ladder {
+		var total [2]float64
+		for i, ov := range []bool{false, true} {
+			opts := baseOpts(nodes, 6, edge, caps, false)
+			opts.Reliable = true
+			opts.Overlap = ov
+			e, err := exchange.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			start := float64(e.Eng.Now())
+			e.RunWithCompute(iters, func(*exchange.Sub) {})
+			total[i] = float64(e.Eng.Now()) - start
+			mode, extra := "/barrier", fmt.Sprintf("total virtual time, %d iters", iters)
+			if ov {
+				mode = "/overlap"
+				extra = fmt.Sprintf("total virtual time, %d iters, %.2fx vs barrier", iters, total[0]/total[1])
+			}
+			rows = append(rows, Row{
+				Config: opts.ConfigString() + mode, Caps: opts.CapsString(),
+				Nodes: nodes, Ranks: 6, Domain: edge, Seconds: total[i], Extra: extra,
+			})
+		}
+	}
+	return rows, nil
+}
+
 // Fig3 reproduces the partitioning comparison: total communication volume of
 // cubical versus sliced partitions of the same domain.
 func Fig3() []Row {

@@ -1,0 +1,42 @@
+package halo
+
+import "github.com/nodeaware/stencil/internal/part"
+
+// Interior/border split for compute/communication overlap.
+//
+// A stencil update of radius R reads R cells around each updated cell. Cells
+// of the *core* — the interior shrunk by R per axis — read only interior
+// cells, so their update never touches a halo and can run while halo
+// exchanges are still in flight. The remaining interior cells form the
+// *border*: their updates read halo cells and must wait for verified halo
+// arrival. The split is exact: Core ∪ Border = interior, disjoint.
+
+// Core returns the interior region whose radius-R stencil reads no halo
+// cell: [Radius, Size-Radius) per axis. When the domain is too thin on any
+// axis (Size ≤ 2*Radius) the core is empty and every interior cell is
+// border.
+func (d *Domain) Core() Region {
+	lo := part.Dim3{X: d.Radius, Y: d.Radius, Z: d.Radius}
+	hi := part.Dim3{X: d.Size.X - d.Radius, Y: d.Size.Y - d.Radius, Z: d.Size.Z - d.Radius}
+	if hi.X <= lo.X || hi.Y <= lo.Y || hi.Z <= lo.Z {
+		return Region{}
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+// CoreCells returns the number of core cells (0 for thin domains).
+func (d *Domain) CoreCells() int { return d.Core().Cells() }
+
+// BorderCells returns the number of interior cells outside the core.
+func (d *Domain) BorderCells() int { return d.Size.Vol() - d.CoreCells() }
+
+// CoreBytes returns the payload size of a core update across all quantities.
+func (d *Domain) CoreBytes() int64 {
+	return int64(d.CoreCells()) * int64(d.ElemSize) * int64(d.Quantities)
+}
+
+// BorderBytes returns the payload size of a border update across all
+// quantities.
+func (d *Domain) BorderBytes() int64 {
+	return int64(d.BorderCells()) * int64(d.ElemSize) * int64(d.Quantities)
+}

@@ -60,6 +60,7 @@ type Spec struct {
 	TrivialPlacement   bool   `json:"trivial_placement,omitempty"`
 	AggregateRemote    bool   `json:"aggregate_remote,omitempty"`
 	NoOverlap          bool   `json:"no_overlap,omitempty"`
+	Overlap            bool   `json:"overlap,omitempty"`
 	EmpiricalPlacement bool   `json:"empirical_placement,omitempty"`
 	OpenBoundary       bool   `json:"open_boundary,omitempty"`
 	FaceOnly           bool   `json:"face_only,omitempty"` // folded into Neighborhood by Normalize
@@ -241,6 +242,20 @@ func (s *Spec) Validate() error {
 	if c.SendTimeout < 0 {
 		return fmt.Errorf("jobspec: negative send_timeout %g", c.SendTimeout)
 	}
+	// The overlap pipeline's compatibility matrix (mirrors exchange.New) so
+	// bad specs are rejected at admission, not at engine-build time.
+	if c.Overlap {
+		switch {
+		case c.NoOverlap:
+			return fmt.Errorf("jobspec: overlap contradicts no_overlap")
+		case c.AggregateRemote:
+			return fmt.Errorf("jobspec: overlap is incompatible with aggregate_remote")
+		case c.AdaptPlacement:
+			return fmt.Errorf("jobspec: overlap is incompatible with adapt_placement")
+		case c.CUDAAware:
+			return fmt.Errorf("jobspec: overlap is incompatible with cuda_aware")
+		}
+	}
 	if c.Scenario != nil {
 		if err := c.Scenario.Validate(); err != nil {
 			return err
@@ -288,6 +303,7 @@ func (s *Spec) Config() (stencil.Config, error) {
 		OpenBoundary:       c.OpenBoundary,
 		AggregateRemote:    c.AggregateRemote,
 		NoOverlap:          c.NoOverlap,
+		Overlap:            c.Overlap,
 		EmpiricalPlacement: c.EmpiricalPlacement,
 		FairnessHorizon:    c.FairnessHorizon,
 		NodeConfig:         &nodeCfg,
@@ -406,6 +422,7 @@ func (s *Spec) BindMethodFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&s.TrivialPlacement, "trivial-placement", s.TrivialPlacement, "disable node-aware placement")
 	fs.BoolVar(&s.AggregateRemote, "aggregate", s.AggregateRemote, "aggregate inter-node messages per rank pair")
 	fs.BoolVar(&s.NoOverlap, "no-overlap", s.NoOverlap, "serialize transfers (ablation)")
+	fs.BoolVar(&s.Overlap, "overlap", s.Overlap, "overlap interior compute with halo exchange (per-quadrant readiness)")
 	fs.BoolVar(&s.EmpiricalPlacement, "empirical-placement", s.EmpiricalPlacement, "measure bandwidths for placement")
 	fs.BoolVar(&s.OpenBoundary, "open-boundary", s.OpenBoundary, "non-periodic boundaries")
 	fs.BoolVar(&s.FaceOnly, "face-only", s.FaceOnly, "exchange only the 6 face neighbors")

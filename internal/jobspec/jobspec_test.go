@@ -100,6 +100,7 @@ func TestHashSensitivity(t *testing.T) {
 		},
 		"quarantine": func(s *Spec) { s.QuarantineTicks = 3 },
 		"checkpoint": func(s *Spec) { s.CheckpointEvery = 5 },
+		"overlap":    func(s *Spec) { s.Overlap = true },
 	}
 	seen := map[string]string{}
 	for name, mutate := range mutations {
@@ -180,6 +181,10 @@ func TestValidateErrors(t *testing.T) {
 		{"face contradiction", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, FaceOnly: true, Neighborhood: 18}, "contradicts"},
 		{"negative iters", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Iters: -1}, "iters"},
 		{"no radius", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Quantities: 1}, "radius"},
+		{"overlap vs no_overlap", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, NoOverlap: true}, "no_overlap"},
+		{"overlap vs aggregate", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, AggregateRemote: true}, "aggregate_remote"},
+		{"overlap vs adapt_placement", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, Adaptive: true, AdaptPlacement: true}, "adapt_placement"},
+		{"overlap vs cuda_aware", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, CUDAAware: true}, "cuda_aware"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()

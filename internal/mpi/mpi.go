@@ -90,6 +90,7 @@ type World struct {
 
 	stats      Stats
 	seqs       map[[2]int]uint64     // per-(src,dst) send sequence numbers
+	channels   map[chanKey]*Channel  // persistent envelope channels (persistent.go)
 	linkFaults map[*flownet.Link]int // protocol faults charged per link
 
 	barrierCount int

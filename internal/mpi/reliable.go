@@ -59,6 +59,7 @@ type envelope struct {
 	sum         uint64             // FNV-1a of the payload at send time (0 in time-only mode)
 	commit      func(bool, uint64) // land the payload (corrupt verdict, corruption key)
 	check       func() uint64      // recompute the landed checksum (nil when deferred/time-only)
+	onAccept    func()             // optional: receiver accepted a copy (before the ACK returns)
 	onDone      func()
 	maxAttempts int
 	rtoBase     sim.Time
@@ -141,19 +142,34 @@ func (w *World) reliableSend(name string, fwd, rev []*flownet.Link, send, recv *
 	}
 	pair := [2]int{send.rank.ID, recv.rank.ID}
 	w.seqs[pair]++
+	w.reliableSendSeq(name, fwd, rev, send, recv, w.seqs[pair], commit, check, nil, onDone)
+}
+
+// reliableSendSeq is reliableSend with an explicit sequence number and an
+// optional acceptance hook. Persistent channels (persistent.go) own their
+// sequence state — one monotone counter per channel, kept in a namespace
+// disjoint from the per-pair counters — so fault draws depend only on the
+// channel and its message index, never on the issue order of unrelated
+// messages. onAccept, when non-nil, fires exactly once, in event context, the
+// moment the receiver accepts a copy (before the ACK control flow returns to
+// the sender); onDone still fires only when the sender sees the ACK.
+func (w *World) reliableSendSeq(name string, fwd, rev []*flownet.Link, send, recv *Request,
+	seq uint64, commit func(corrupt bool, key uint64), check func() uint64,
+	onAccept, onDone func()) {
 	env := &envelope{
-		w:      w,
-		name:   name,
-		fwd:    fwd,
-		rev:    rev,
-		bytes:  float64(send.bytes),
-		src:    send.rank.ID,
-		dst:    recv.rank.ID,
-		tag:    send.tag,
-		seq:    w.seqs[pair],
-		commit: commit,
-		check:  check,
-		onDone: onDone,
+		w:        w,
+		name:     name,
+		fwd:      fwd,
+		rev:      rev,
+		bytes:    float64(send.bytes),
+		src:      send.rank.ID,
+		dst:      recv.rank.ID,
+		tag:      send.tag,
+		seq:      seq,
+		commit:   commit,
+		check:    check,
+		onAccept: onAccept,
+		onDone:   onDone,
 	}
 	if data := send.buf.Data(); data != nil {
 		env.sum = fnvSum(data[send.off : send.off+send.bytes])
@@ -367,6 +383,9 @@ func (env *envelope) deliver(n int, corrupt, final bool) {
 		env.proto("exhausted", "", n)
 	} else if env.check != nil && env.sum != 0 && env.check() != env.sum {
 		panic(fmt.Sprintf("mpi: clean delivery %s seq %d failed its checksum", env.name, env.seq))
+	}
+	if env.onAccept != nil {
+		env.onAccept()
 	}
 	if w.OnDeliver != nil {
 		w.OnDeliver(w.M.Eng.Now(), env.src, env.dst, env.tag, corrupt)

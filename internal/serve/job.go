@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/nodeaware/stencil/internal/jobspec"
@@ -34,6 +35,12 @@ type Job struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
+
+	// preempt is the cooperative cancellation flag for running jobs. The
+	// HTTP goroutine sets it (requestPreempt); the engine's coordinator
+	// polls it at every iteration safe point via stencil.Config.Preempt and
+	// stops the run at the next boundary.
+	preempt atomic.Bool
 
 	state       State
 	err         string
@@ -118,8 +125,8 @@ func (j *Job) finish(now time.Time, result, events []byte, runErr error, fromRes
 }
 
 // cancel transitions queued → cancelled. The caller must have already
-// removed the job from the queue; running jobs cannot be interrupted (the
-// engine has no preemption point) and report a conflict instead.
+// removed the job from the queue, so the transition cannot race a start.
+// Running jobs are cancelled cooperatively instead: see requestPreempt.
 func (j *Job) cancel(now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -132,6 +139,34 @@ func (j *Job) cancel(now time.Time) bool {
 	j.closed = true
 	j.cond.Broadcast()
 	return true
+}
+
+// requestPreempt arms the cooperative cancellation flag for a job that is
+// running (or was just popped by a worker and is about to run — the queued
+// state whose queue removal already failed). The engine observes the flag at
+// its next iteration safe point and the worker then finalizes the job as
+// cancelled. Terminal jobs report false. Best-effort by construction: a job
+// whose final iteration already passed the last poll finishes done.
+func (j *Job) requestPreempt() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued && j.state != StateRunning {
+		return false
+	}
+	j.preempt.Store(true)
+	return true
+}
+
+// finishCancelled finalizes a preempted run: running → cancelled. The
+// partial run's bytes are discarded (never cached, never served).
+func (j *Job) finishCancelled(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateCancelled
+	j.finished = now
+	j.appendLineLocked(streamLine{Kind: "state", State: string(StateCancelled), Job: j.ID})
+	j.closed = true
+	j.cond.Broadcast()
 }
 
 func (j *Job) cacheString() string {

@@ -3,12 +3,18 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	stencil "github.com/nodeaware/stencil"
 	"github.com/nodeaware/stencil/internal/jobspec"
 	"github.com/nodeaware/stencil/internal/mpi"
 )
+
+// errPreempted is runJob's sentinel for a run stopped early by the job's
+// cancellation flag. The worker maps it to the cancelled state; a preempted
+// run's partial outcome is never cached.
+var errPreempted = errors.New("serve: job preempted")
 
 // ResultSchema identifies the result-document layout.
 const ResultSchema = "stencilserve-result/1"
@@ -72,15 +78,20 @@ type runOutcome struct {
 }
 
 // runJob executes one job on a fresh, isolated engine. preset, when
-// non-nil, injects a cached phase-2 placement. The outcome's result and
-// events bytes are deterministic: two calls with the same spec return
-// byte-identical slices regardless of preset, concurrency, or host load.
-func runJob(spec *jobspec.Spec, specHash string, preset [][]int) (*runOutcome, error) {
+// non-nil, injects a cached phase-2 placement. preempt, when non-nil, is
+// polled by the engine's coordinator at every iteration safe point; once it
+// reports true the run stops at the next boundary and runJob returns
+// errPreempted. The outcome's result and events bytes are deterministic: two
+// calls with the same spec return byte-identical slices regardless of
+// preset, concurrency, or host load (Preempt never advances virtual time, so
+// un-preempted runs are unaffected by the polling).
+func runJob(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() bool) (*runOutcome, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
 	}
 	cfg.PresetPlacement = preset
+	cfg.Preempt = preempt
 	tel := stencil.NewTelemetry()
 	// Per-link utilization events dominate the log at scale and belong in
 	// benchmark tooling, not a job stream; metrics and spans still record.
@@ -99,6 +110,9 @@ func runJob(spec *jobspec.Spec, specHash string, preset [][]int) (*runOutcome, e
 		iters = 10
 	}
 	stats := dd.Exchange(iters)
+	if dd.Preempted() {
+		return nil, errPreempted
+	}
 
 	res := &Result{
 		Schema:     ResultSchema,

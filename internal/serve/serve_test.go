@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/nodeaware/stencil/internal/fault"
 	"github.com/nodeaware/stencil/internal/jobspec"
@@ -334,6 +335,78 @@ func TestCancelQueuedOnly(t *testing.T) {
 	resp, b = get(t, ts, "/v1/jobs/"+st.ID+"/events")
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte(`"cancelled"`)) {
 		t.Fatalf("events after cancel: %d %s", resp.StatusCode, b)
+	}
+}
+
+// TestCancelRunning is the regression lock on mid-run cancellation: a
+// running job that receives /cancel stops at the engine's next iteration
+// safe point, ends cancelled (not failed), leaves nothing in the result
+// cache, and — the original bug — frees its worker slot for the next job.
+func TestCancelRunning(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Long enough that the cancel below always lands mid-run: the state
+	// poll and DELETE take microseconds; the run takes three orders of
+	// magnitude longer.
+	long := tinySpec()
+	long.Iters = 1500
+	j, err := s.Submit("", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.State() == StateQueued {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if st := j.State(); st != StateRunning {
+		t.Fatalf("job reached %q without being cancelled", st)
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+j.ID, nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: %d %s", resp.StatusCode, b)
+	}
+	if st := j.Wait(); st != StateCancelled {
+		t.Fatalf("cancelled mid-run job ended %q, want cancelled", st)
+	}
+
+	// The partial run must not be served or cached.
+	if resp, _ := get(t, ts, "/v1/jobs/"+j.ID+"/result"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of cancelled job: %d, want 409", resp.StatusCode)
+	}
+	if hits, _, _, _ := s.CacheStats(); hits != 0 {
+		t.Errorf("result cache hits %d after a preempted run, want 0", hits)
+	}
+	if resp, b := get(t, ts, "/v1/jobs/"+j.ID+"/events"); resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte(`"cancelled"`)) {
+		t.Errorf("events of cancelled job: %d %s", resp.StatusCode, b)
+	}
+
+	// Cancelling a terminal job still conflicts.
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel of terminal job: %d, want 409", resp.StatusCode)
+	}
+
+	// The single worker must be free again: a fresh job completes.
+	j2, err := s.Submit("", tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Wait(); st != StateDone {
+		t.Fatalf("follow-up job on the freed worker ended %q, want done", st)
 	}
 }
 

@@ -172,8 +172,13 @@ func (s *Server) Jobs(tenant string) []Status {
 	return out
 }
 
-// Cancel cancels a queued job. Running jobs cannot be interrupted (the
-// engine has no preemption point); done jobs are final. Both report false.
+// Cancel cancels a queued or running job; terminal jobs report false.
+// Queued jobs transition to cancelled immediately. Running jobs are
+// preempted cooperatively: the flag set here is polled by the engine's
+// coordinator at every iteration safe point, the run stops at the next
+// boundary, and the worker finalizes the cancelled state — so true for a
+// running job means cancellation was accepted, and the status still reads
+// "running" until the engine reaches that boundary.
 func (s *Server) Cancel(id string) (Status, bool, error) {
 	j, ok := s.Job(id)
 	if !ok {
@@ -183,6 +188,11 @@ func (s *Server) Cancel(id string) (Status, bool, error) {
 	// so the queued→cancelled transition cannot race a start.
 	if s.queue.remove(j) && j.cancel(s.now()) {
 		s.count("stencilserve_jobs_cancelled_total")
+		return j.status(false), true, nil
+	}
+	// The job left the queue: it is running (or a worker just popped it),
+	// or it already finished. Arm the preemption flag in the former case.
+	if j.requestPreempt() {
 		return j.status(false), true, nil
 	}
 	return j.status(false), false, nil
@@ -234,7 +244,15 @@ func (s *Server) execute(j *Job) {
 		}
 	}
 
-	out, err := runJob(j.Spec, j.Hash, preset)
+	out, err := runJob(j.Spec, j.Hash, preset, j.preempt.Load)
+	if err == errPreempted {
+		// The engine honored a mid-run /cancel: the job ends cancelled (not
+		// failed), its partial bytes are never cached, and this worker is
+		// immediately free for the next job.
+		j.finishCancelled(s.now())
+		s.count("stencilserve_jobs_cancelled_total")
+		return
+	}
 	if err != nil {
 		j.finish(s.now(), nil, nil, err, false, usedSetup)
 		s.count("stencilserve_jobs_failed_total")
@@ -286,7 +304,7 @@ func (s *Server) QueueDepth() int { return s.queue.depth() }
 //	GET    /v1/jobs/{id}       status with spec
 //	GET    /v1/jobs/{id}/result  deterministic result document (409 until done)
 //	GET    /v1/jobs/{id}/events  NDJSON stream, follows a live job
-//	DELETE /v1/jobs/{id}       cancel a queued job (409 if running/done)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job (409 if done)
 //	GET    /metrics            Prometheus text
 //	GET    /healthz            200, or 503 when draining
 func (s *Server) Handler() http.Handler {
@@ -399,7 +417,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if !cancelled {
 		writeError(w, http.StatusConflict,
-			fmt.Errorf("serve: job %s is %s; only queued jobs can be cancelled", j.ID, st.State))
+			fmt.Errorf("serve: job %s is %s and cannot be cancelled", j.ID, st.State))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

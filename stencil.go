@@ -156,6 +156,20 @@ type Config struct {
 	// machinery).
 	NoOverlap bool
 
+	// Overlap enables compute/communication overlap via persistent exchange
+	// plans: interior compute runs while halos are in flight, and each
+	// subdomain's border update is gated per-quadrant on the verified
+	// arrival of exactly the halos it reads, replacing the global
+	// verification barrier. Final domain bytes are identical to a
+	// non-overlapped run. Incompatible with NoOverlap, AggregateRemote,
+	// AdaptPlacement, and CUDAAware.
+	Overlap bool
+
+	// Preempt, when set, is polled between iterations; when it returns true
+	// the run stops early at the next iteration boundary (see Preempted).
+	// Used for cooperative job cancellation; not serialized by jobspec.
+	Preempt func() bool
+
 	// EmpiricalPlacement drives the QAP with a congestion-aware bandwidth
 	// measurement pass instead of the vendor topology query.
 	EmpiricalPlacement bool
@@ -280,6 +294,8 @@ func New(cfg Config) (*DistributedDomain, error) {
 		OpenBoundary:       cfg.OpenBoundary,
 		AggregateRemote:    cfg.AggregateRemote,
 		NoOverlap:          cfg.NoOverlap,
+		Overlap:            cfg.Overlap,
+		Preempt:            cfg.Preempt,
 		EmpiricalPlacement: cfg.EmpiricalPlacement,
 		FairnessHorizon:    cfg.FairnessHorizon,
 		NodeConfig:         cfg.NodeConfig,
@@ -465,3 +481,6 @@ func (cfg Config) Validate() error {
 // VirtualTime returns the current simulated clock of the underlying engine,
 // useful when composing multiple measured phases.
 func (dd *DistributedDomain) VirtualTime() sim.Time { return dd.ex.Eng.Now() }
+
+// Preempted reports whether a run was stopped early by Config.Preempt.
+func (dd *DistributedDomain) Preempted() bool { return dd.ex.Preempted() }
