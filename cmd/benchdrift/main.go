@@ -20,6 +20,13 @@
 // regression in the overlap path fails CI even when both rows drift
 // together.
 //
+// -matrix switches both files to the stencilbench -matrix schema
+// (results/MATRIX.json): per-(feature, node count) cells are gated on their
+// deterministic virtual time, so a regression in ONE feature's cost fails
+// CI even when the total stays flat. The regenerated report must also cover
+// every feature tag at two or more node counts — a feature silently dropped
+// from the matrix is itself a failure.
+//
 // Exit status: 0 when every row is within tolerance, 1 otherwise.
 package main
 
@@ -30,6 +37,9 @@ import (
 	"math"
 	"os"
 	"strings"
+
+	"github.com/nodeaware/stencil/internal/figures"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // row and report mirror the subset of cmd/stencilbench's -json schema that
@@ -87,11 +97,15 @@ func run(args []string) error {
 	gotPath := fs.String("got", "", "freshly generated stencilbench -json report")
 	tol := fs.Float64("tol", 0.20, "maximum relative drift of simulated times")
 	overlapMin := fs.Float64("overlap-min", 0, "minimum barrier/overlap speedup for paired */barrier and */overlap rows (0 = off)")
+	matrix := fs.Bool("matrix", false, "treat -ref and -got as stencilbench -matrix reports and gate per-feature virtual times")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *refPath == "" || *gotPath == "" {
 		return fmt.Errorf("benchdrift: both -ref and -got are required")
+	}
+	if *matrix {
+		return runMatrix(*refPath, *gotPath, *tol)
 	}
 
 	ref, err := load(*refPath)
@@ -158,5 +172,87 @@ func run(args []string) error {
 		return fmt.Errorf("benchdrift: %d of %d rows outside %.0f%% tolerance", failures, total, *tol*100)
 	}
 	fmt.Printf("benchdrift: %d rows within %.0f%% of %s\n", total, *tol*100, *refPath)
+	return nil
+}
+
+// loadMatrix parses a stencilbench -matrix report and verifies its schema.
+func loadMatrix(path string) (*figures.MatrixReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r figures.MatrixReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != figures.MatrixSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, figures.MatrixSchema)
+	}
+	return &r, nil
+}
+
+// matrixKey identifies a cell across matrix reports.
+type matrixKey struct {
+	feature string
+	nodes   int
+}
+
+// runMatrix gates a regenerated matrix report against the committed
+// reference: per-cell virtual-time drift, plus full coverage — every
+// feature tag present at two or more node counts.
+func runMatrix(refPath, gotPath string, tol float64) error {
+	ref, err := loadMatrix(refPath)
+	if err != nil {
+		return err
+	}
+	got, err := loadMatrix(gotPath)
+	if err != nil {
+		return err
+	}
+	gotIdx := make(map[matrixKey]float64)
+	nodeCounts := make(map[string]map[int]bool)
+	for _, c := range got.Cells {
+		gotIdx[matrixKey{c.Feature, c.Nodes}] = c.VirtualSeconds
+		if nodeCounts[c.Feature] == nil {
+			nodeCounts[c.Feature] = make(map[int]bool)
+		}
+		nodeCounts[c.Feature][c.Nodes] = true
+	}
+
+	var failures, total int
+	for _, f := range telemetry.Features {
+		if len(nodeCounts[string(f)]) < 2 {
+			fmt.Printf("COVERAGE feature %s measured at %d node count(s), want >= 2\n",
+				f, len(nodeCounts[string(f)]))
+			failures++
+		}
+	}
+	for _, c := range ref.Cells {
+		if c.VirtualSeconds == 0 {
+			continue
+		}
+		total++
+		k := matrixKey{c.Feature, c.Nodes}
+		cur, ok := gotIdx[k]
+		if !ok {
+			fmt.Printf("MISSING matrix cell %s %dn (reference %.6g s)\n", k.feature, k.nodes, c.VirtualSeconds)
+			failures++
+			continue
+		}
+		drift := math.Abs(cur-c.VirtualSeconds) / c.VirtualSeconds
+		if drift > tol {
+			fmt.Printf("DRIFT   matrix cell %s %dn: %.6g s vs reference %.6g s (%.1f%% > %.0f%%)\n",
+				k.feature, k.nodes, cur, c.VirtualSeconds, drift*100, tol*100)
+			failures++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("benchdrift: no comparable matrix cells in %s", refPath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchdrift: %d matrix failures across %d cells (tol %.0f%%)", failures, total, tol*100)
+	}
+	fmt.Printf("benchdrift: %d matrix cells within %.0f%% of %s, all %d features covered at >= 2 node counts\n",
+		total, tol*100, refPath, len(telemetry.Features))
 	return nil
 }

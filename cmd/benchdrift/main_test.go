@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/figures"
+	"github.com/nodeaware/stencil/internal/telemetry"
+)
+
+// fullMatrix builds a report covering every feature at two node counts,
+// with every cell's virtual time scaled by f.
+func fullMatrix(f float64) *figures.MatrixReport {
+	rep := &figures.MatrixReport{Schema: figures.MatrixSchema, Tool: "stencilbench", Iters: 3}
+	for _, feat := range telemetry.Features {
+		for _, nodes := range []int{1, 2} {
+			rep.Cells = append(rep.Cells, figures.MatrixCell{
+				Feature:        string(feat),
+				Nodes:          nodes,
+				VirtualSeconds: f * 0.005 * float64(nodes),
+			})
+		}
+	}
+	return rep
+}
+
+func writeMatrix(t *testing.T, rep *figures.MatrixReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMatrixGatePasses(t *testing.T) {
+	ref := writeMatrix(t, fullMatrix(1))
+	got := writeMatrix(t, fullMatrix(1.05))
+	if err := run([]string{"-matrix", "-ref", ref, "-got", got, "-tol", "0.20"}); err != nil {
+		t.Fatalf("5%% drift rejected at 20%% tolerance: %v", err)
+	}
+}
+
+func TestMatrixGateCatchesPerFeatureDrift(t *testing.T) {
+	ref := fullMatrix(1)
+	got := fullMatrix(1)
+	// Regress ONE feature's cells by 50% while everything else stays flat:
+	// exactly the case total-drift gating misses.
+	for i := range got.Cells {
+		if got.Cells[i].Feature == string(telemetry.FeatureReliable) {
+			got.Cells[i].VirtualSeconds *= 1.5
+		}
+	}
+	err := run([]string{"-matrix", "-ref", writeMatrix(t, ref), "-got", writeMatrix(t, got), "-tol", "0.20"})
+	if err == nil {
+		t.Fatal("50% single-feature regression passed a 20% gate")
+	}
+}
+
+func TestMatrixGateRequiresCoverage(t *testing.T) {
+	ref := fullMatrix(1)
+	got := fullMatrix(1)
+	// Drop one feature's second node count: coverage, not drift, must fail.
+	var cells []figures.MatrixCell
+	for _, c := range got.Cells {
+		if c.Feature == string(telemetry.FeatureOverlap) && c.Nodes == 2 {
+			continue
+		}
+		cells = append(cells, c)
+	}
+	got.Cells = cells
+	err := run([]string{"-matrix", "-ref", writeMatrix(t, ref), "-got", writeMatrix(t, got), "-tol", "0.20"})
+	if err == nil {
+		t.Fatal("missing node count for a feature passed the coverage gate")
+	}
+}
+
+func TestMatrixGateRejectsWrongSchema(t *testing.T) {
+	ref := fullMatrix(1)
+	bad := fullMatrix(1)
+	bad.Schema = "stencil-matrix/0"
+	err := run([]string{"-matrix", "-ref", writeMatrix(t, ref), "-got", writeMatrix(t, bad), "-tol", "0.20"})
+	if err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

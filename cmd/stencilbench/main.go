@@ -67,11 +67,12 @@ type benchReport struct {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stencilbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, overlap, compare, metrics, all)")
+	experiment := fs.String("experiment", "all", "which figure to regenerate (table1, fig3, fig11, fig12a, fig12b, fig12c, fig13, fastpath, overlap, compare, metrics, matrix, all)")
 	maxNodes := fs.Int("maxnodes", 32, "largest node count for scaling experiments (paper: 256)")
 	iters := fs.Int("iters", 3, "exchange iterations per configuration (paper: 30)")
 	jsonPath := fs.String("json", "", "also write the rows as JSON to this file (e.g. results/BENCH.json)")
 	metricsPath := fs.String("metrics", "", "run the metrics ladder and write its telemetry report to this file (e.g. results/METRICS.json)")
+	matrixPath := fs.String("matrix", "", "run the feature-cost matrix and write its report to this file (e.g. results/MATRIX.json)")
 	parallel := fs.Int("parallel", 0, "payload worker goroutines for the simulation engine (0 = sequential; results are bit-identical; -compare defaults to NumCPU)")
 	compare := fs.Bool("compare", false, "shorthand for -experiment compare: benchmark sequential vs parallel engine wall time")
 	if err := fs.Parse(args); err != nil {
@@ -84,12 +85,21 @@ func run(args []string, out io.Writer) error {
 	if *metricsPath != "" {
 		*experiment = "metrics"
 	}
+	if *matrixPath != "" {
+		*experiment = "matrix"
+	}
 
 	var metricsReport *telemetry.Report
+	var matrixReport *figures.MatrixReport
 	runners := map[string]func() ([]figures.Row, error){
 		"metrics": func() ([]figures.Row, error) {
 			rows, rep, err := figures.MetricsLadder(*iters)
 			metricsReport = rep
+			return rows, err
+		},
+		"matrix": func() ([]figures.Row, error) {
+			rows, rep, err := figures.Matrix(*iters)
+			matrixReport = rep
 			return rows, err
 		},
 		"table1":   func() ([]figures.Row, error) { return figures.TableI(), nil },
@@ -156,6 +166,19 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "metrics report written to %s\n", *metricsPath)
+	}
+	if *matrixPath != "" && matrixReport != nil {
+		f, err := os.Create(*matrixPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(matrixReport); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "matrix report written to %s\n", *matrixPath)
 	}
 	return nil
 }

@@ -549,11 +549,17 @@ func New(opts Options) (*Exchanger, error) {
 		w.OnRetry = tel.MPIRetry
 		w.OnRetryExhausted = tel.MPIRetryExhausted
 		w.OnProtocol = tel.MPIProtocol
+		w.OnEnvelopeAlloc = func(bytes int64) {
+			tel.AttributeAlloc(telemetry.FeatureReliable, bytes)
+		}
 	}
 
 	var setupSpan *telemetry.Span
 	if tel != nil {
-		setupSpan = tel.StartSpan("setup", nil, eng.Now())
+		// The enclosing setup span carries the baseline attribution; its
+		// children (partition/placement/specialization) stay untagged so
+		// setup time is not double-counted in the ledger.
+		setupSpan = tel.StartSpanFeature("setup", nil, eng.Now(), telemetry.FeatureBaseline)
 	}
 	var partSpan *telemetry.Span
 	if tel != nil {
@@ -668,6 +674,13 @@ func New(opts Options) (*Exchanger, error) {
 		}
 		for m, c := range e.MethodCounts() {
 			tel.Gauge("exchange_plans", telemetry.L("method", m.String())).Set(float64(c))
+		}
+		// Subdomain data buffers are the baseline's host-memory footprint
+		// (only real-data mode materializes them).
+		if opts.RealData {
+			for _, s := range e.Subs {
+				tel.AttributeAlloc(telemetry.FeatureBaseline, s.Dom.AllocBytes())
+			}
 		}
 		setupSpan.End(now)
 	}

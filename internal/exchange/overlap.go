@@ -267,6 +267,13 @@ func (pump *verifyPump) verifyPlan(vp *sim.Proc, pl *Plan) {
 	e := pump.e
 	v := e.verifier
 	tel := e.Opts.Telemetry
+	if tel != nil {
+		// Ledger-only verify attribution, mirroring verifyTick. Pump time
+		// overlaps compute by design, so these are inclusive span-seconds,
+		// not critical-path time.
+		t0 := e.Eng.Now()
+		defer func() { tel.AttributeSeconds(telemetry.FeatureVerify, e.Eng.Now()-t0) }()
+	}
 	// Deferred payload commits (unpacks) flush when their instant ends;
 	// crossing an instant boundary before each checksum pass guarantees the
 	// reads observe fully landed bytes under parallel payload workers.
@@ -364,7 +371,7 @@ func (e *Exchanger) overlapBody(times []sim.Time, ar *mpi.Allreducer, runSpan *t
 		if rank == e.coordRank {
 			times[it] = maxDt
 			if tel != nil {
-				sp := tel.StartSpan("exchange", runSpan, t0)
+				sp := tel.StartSpanFeature("exchange", runSpan, t0, telemetry.FeatureOverlap)
 				sp.End(t0+maxDt, telemetry.L("iter", strconv.Itoa(it)))
 				tel.Counter("exchange_iterations_total").Inc()
 				tel.Histogram("exchange_iteration_seconds", telemetry.SecondsBuckets).Observe(maxDt)
@@ -381,7 +388,7 @@ func (e *Exchanger) overlapBody(times []sim.Time, ar *mpi.Allreducer, runSpan *t
 			delete(e.overlapStates, it)
 			if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
 				if tel != nil {
-					asp := tel.StartSpan("adapt", runSpan, e.Eng.Now())
+					asp := tel.StartSpanFeature("adapt", runSpan, e.Eng.Now(), telemetry.FeatureAdapt)
 					e.adaptTick(p)
 					asp.End(e.Eng.Now())
 				} else {

@@ -224,7 +224,7 @@ func (rc *recovery) checkpoint(p *sim.Proc, nextIter int) {
 	t0 := e.Eng.Now()
 	var sp *telemetry.Span
 	if tel != nil {
-		sp = tel.StartSpan("checkpoint", rc.runSpan, t0)
+		sp = tel.StartSpanFeature("checkpoint", rc.runSpan, t0, telemetry.FeatureRecovery)
 	}
 	var done []*sim.Signal
 	var total int64
@@ -255,6 +255,13 @@ func (rc *recovery) checkpoint(p *sim.Proc, nextIter int) {
 	rc.record("checkpoint", "epoch %d committed: %d subdomains, %d bytes; restart iteration %d",
 		epoch, len(e.Subs), total, nextIter)
 	if tel != nil {
+		// Snapshot copies land in host memory on behalf of the recovery
+		// feature: one retained buffer set per subdomain per epoch.
+		if e.Opts.RealData {
+			for _, s := range e.Subs {
+				tel.AttributeAlloc(telemetry.FeatureRecovery, s.Dom.AllocBytes())
+			}
+		}
 		tel.Counter("checkpoint_total").Inc()
 		tel.Counter("checkpoint_bytes_total").Add(float64(total))
 		tel.Gauge("checkpoint_epoch").Set(float64(epoch))
@@ -268,7 +275,7 @@ func (rc *recovery) performRecovery(p *sim.Proc, rp *recoveryPlan) {
 	tel := e.Opts.Telemetry
 	var rollSpan *telemetry.Span
 	if tel != nil {
-		rollSpan = tel.StartSpan("rollback", rc.runSpan, e.Eng.Now())
+		rollSpan = tel.StartSpanFeature("rollback", rc.runSpan, e.Eng.Now(), telemetry.FeatureRecovery)
 	}
 	e.coordRank = rp.coord
 	rc.rollbacks++
@@ -429,7 +436,7 @@ func (rc *recovery) restoreAll(p *sim.Proc, moved []int) {
 	}
 	var migSpan *telemetry.Span
 	if tel != nil && len(moved) > 0 {
-		migSpan = tel.StartSpan("migrate", rc.runSpan, t0)
+		migSpan = tel.StartSpanFeature("migrate", rc.runSpan, t0, telemetry.FeatureRecovery)
 	}
 	var done []*sim.Signal
 	var restoreBytes, migrateBytes int64

@@ -368,7 +368,7 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 				// The coordinator records the iteration on everyone's
 				// behalf: the span covers [t0, t0 + max-across-ranks], the
 				// same quantity the paper reports per iteration.
-				sp := tel.StartSpan("exchange", runSpan, t0)
+				sp := tel.StartSpanFeature("exchange", runSpan, t0, telemetry.FeatureBaseline)
 				sp.End(t0+maxDt, telemetry.L("iter", strconv.Itoa(it)))
 				tel.Counter("exchange_iterations_total").Inc()
 				tel.Histogram("exchange_iteration_seconds", telemetry.SecondsBuckets).Observe(maxDt)
@@ -383,7 +383,7 @@ func (e *Exchanger) RunWithCompute(iterations int, compute func(*Sub)) *Stats {
 			}
 			if e.Opts.Adaptive && (it+1)%e.adaptEvery() == 0 {
 				if tel != nil {
-					asp := tel.StartSpan("adapt", runSpan, e.Eng.Now())
+					asp := tel.StartSpanFeature("adapt", runSpan, e.Eng.Now(), telemetry.FeatureAdapt)
 					e.adaptTick(p)
 					asp.End(e.Eng.Now())
 				} else {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/nodeaware/stencil/internal/cudart"
 	"github.com/nodeaware/stencil/internal/sim"
+	"github.com/nodeaware/stencil/internal/telemetry"
 )
 
 // End-to-end halo verification (the backstop above the MPI reliable-delivery
@@ -78,6 +79,9 @@ func (v *verifier) scan() []*Plan {
 // forceRepair copies the quadrant directly, bypassing the wire: pack from
 // the source region, unpack into the destination halo.
 func (v *verifier) forceRepair(pl *Plan) {
+	if tel := v.e.Opts.Telemetry; tel != nil {
+		tel.AttributeAlloc(telemetry.FeatureVerify, pl.Bytes)
+	}
 	buf := make([]byte, pl.Bytes)
 	pl.Src.Dom.Pack(buf, pl.Dir)
 	pl.Dst.Dom.Unpack(buf, neg(pl.Dir))
@@ -95,6 +99,13 @@ func (e *Exchanger) verifyTick(p *sim.Proc, iter int) {
 	}
 	v := e.verifier
 	tel := e.Opts.Telemetry
+	if tel != nil {
+		// Ledger-only attribution (no span, no event): the whole safe-point
+		// stall — checksum epsilons, re-exchange rounds, out-of-band repairs
+		// — is virtual time the verify feature added to the iteration.
+		t0 := e.Eng.Now()
+		defer func() { tel.AttributeSeconds(telemetry.FeatureVerify, e.Eng.Now()-t0) }()
+	}
 	// Deferred payload commits (unpacks, checkpoint snapshots) flush when
 	// their instant ends; crossing an instant boundary before each checksum
 	// pass guarantees the reads observe fully landed bytes under parallel

@@ -82,6 +82,11 @@ type World struct {
 	// (drop, corrupt, dup, dedup, retransmit, nack, ackdrop, exhausted).
 	// link is empty for end-to-end actions. Must be passive.
 	OnProtocol func(t sim.Time, kind, link string, src, dst int, seq uint64, attempt int)
+	// OnEnvelopeAlloc, when set, observes every reliable-envelope
+	// allocation (one per inter-node message when Reliable is on) with the
+	// approximate host bytes its protocol state retains while in flight.
+	// Must be passive: the cost ledger reads it, nothing else may.
+	OnEnvelopeAlloc func(bytes int64)
 	// OnDeliver, when set, observes every reliable-envelope acceptance.
 	// compromised marks a delivery that exhausted its attempt cap with a
 	// corrupt payload — the wire gave up on integrity and the exchange

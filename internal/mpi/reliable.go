@@ -197,8 +197,18 @@ func (w *World) reliableSendSeq(name string, fwd, rev []*flownet.Link, send, rec
 		env.backoff = env.rtoBase / 4
 	}
 	w.stats.Messages++
+	if w.OnEnvelopeAlloc != nil {
+		w.OnEnvelopeAlloc(envelopeStateBytes)
+	}
 	env.attempt(0)
 }
+
+// envelopeStateBytes approximates the host footprint of one envelope's
+// protocol state (the struct, its timer event, and ACK/NACK bookkeeping),
+// reported through World.OnEnvelopeAlloc for the cost ledger. A fixed
+// estimate keeps the report deterministic and cheap; the interesting signal
+// is the count, which is exact.
+const envelopeStateBytes = 256
 
 // reliableTransfer is reliableSend for process code: park until the sender
 // completes. The landed-checksum self-check is only possible here, where the

@@ -54,6 +54,11 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// spans is the wall-clock trace of this job's lifecycle phases, served
+	// by /v1/jobs/{id}/trace. Host-side and operator-facing only: never
+	// cached, never part of the deterministic result or event bytes.
+	spans []TraceSpan
 }
 
 func newJob(id, tenant string, spec *jobspec.Spec, hash, setupHash string, now time.Time) *Job {
@@ -90,13 +95,48 @@ func (j *Job) appendLineLocked(l streamLine) {
 	j.cond.Broadcast()
 }
 
-// start transitions queued → running.
-func (j *Job) start(now time.Time) {
+// start transitions queued → running and returns how long the job waited in
+// the queue. The wait also becomes the trace's first span.
+func (j *Job) start(now time.Time) time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateRunning
 	j.started = now
+	j.appendSpanLocked("queue-wait", j.submitted, now, "")
 	j.appendLineLocked(streamLine{Kind: "state", State: string(StateRunning), Job: j.ID})
+	return now.Sub(j.submitted)
+}
+
+// addSpan appends one wall-clock span to the job's trace.
+func (j *Job) addSpan(name string, start, end time.Time, detail string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendSpanLocked(name, start, end, detail)
+}
+
+func (j *Job) appendSpanLocked(name string, start, end time.Time, detail string) {
+	j.spans = append(j.spans, TraceSpan{
+		Name:            name,
+		Detail:          detail,
+		Start:           start,
+		End:             end,
+		DurationSeconds: end.Sub(start).Seconds(),
+	})
+}
+
+// trace snapshots the job's wall-clock trace document.
+func (j *Job) trace() JobTrace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobTrace{
+		Schema:   TraceSchema,
+		TraceID:  TraceID(j.Hash, j.ID),
+		Job:      j.ID,
+		Tenant:   j.Tenant,
+		SpecHash: j.Hash,
+		State:    j.state,
+		Spans:    append([]TraceSpan(nil), j.spans...),
+	}
 }
 
 // finish completes the job: a result document plus the run's telemetry

@@ -81,11 +81,13 @@ type runOutcome struct {
 // non-nil, injects a cached phase-2 placement. preempt, when non-nil, is
 // polled by the engine's coordinator at every iteration safe point; once it
 // reports true the run stops at the next boundary and runJob returns
-// errPreempted. The outcome's result and events bytes are deterministic: two
-// calls with the same spec return byte-identical slices regardless of
-// preset, concurrency, or host load (Preempt never advances virtual time, so
-// un-preempted runs are unaffected by the polling).
-func runJob(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() bool) (*runOutcome, error) {
+// errPreempted. lap stamps the run's wall-clock phases (setup, engine-run,
+// verify, encode) onto the job's trace; it never touches the outcome bytes.
+// The outcome's result and events bytes are deterministic: two calls with
+// the same spec return byte-identical slices regardless of preset,
+// concurrency, host load, or tracing (Preempt never advances virtual time,
+// so un-preempted runs are unaffected by the polling).
+func runJob(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() bool, lap *lapClock) (*runOutcome, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
@@ -105,11 +107,13 @@ func runJob(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() 
 	if cfg.RealData {
 		dd.Fill(fillFunc)
 	}
+	lap.lap("setup", fmt.Sprintf("nodes=%d subdomains=%d", cfg.Nodes, dd.NumSubdomains()))
 	iters := spec.Iters
 	if iters <= 0 {
 		iters = 10
 	}
 	stats := dd.Exchange(iters)
+	lap.lap("engine-run", fmt.Sprintf("iters=%d virtual_s=%g", iters, float64(dd.VirtualTime())))
 	if dd.Preempted() {
 		return nil, errPreempted
 	}
@@ -170,6 +174,7 @@ func runJob(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() 
 			return nil, fmt.Errorf("serve: %d corrupted halo cells: %s", bad, detail)
 		}
 	}
+	lap.lap("verify", fmt.Sprintf("real_data=%t", cfg.RealData))
 
 	out := &runOutcome{virtualSeconds: float64(dd.VirtualTime())}
 	var buf bytes.Buffer
@@ -192,6 +197,7 @@ func runJob(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() 
 			out.assignments[n] = dd.Assignment(n)
 		}
 	}
+	lap.lap("encode", fmt.Sprintf("result_bytes=%d event_bytes=%d", len(out.result), len(out.events)))
 	return out, nil
 }
 

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"runtime/metrics"
+	"strings"
+)
+
+// runtimeSamples is the curated runtime/metrics set appended to /metrics.
+// A fixed list rather than metrics.All(): scrape output stays stable across
+// Go releases, and every exported family has a meaningful operator story
+// (heap pressure, GC cost, scheduler load).
+var runtimeSamples = []struct {
+	name string // runtime/metrics key
+	help string
+}{
+	{"/memory/classes/heap/objects:bytes", "Bytes occupied by live objects and dead objects not yet reclaimed."},
+	{"/memory/classes/total:bytes", "All memory mapped by the Go runtime."},
+	{"/gc/heap/allocs:bytes", "Cumulative bytes allocated on the heap."},
+	{"/gc/heap/goal:bytes", "Heap size target of the end of the current GC cycle."},
+	{"/gc/cycles/total:gc-cycles", "Completed GC cycles."},
+	{"/sched/goroutines:goroutines", "Live goroutines."},
+	{"/sched/gomaxprocs:threads", "Current GOMAXPROCS."},
+	{"/cpu/classes/gc/total:cpu-seconds", "Estimated CPU seconds spent in the garbage collector."},
+}
+
+// promRuntimeName converts a runtime/metrics key to a Prometheus family
+// name: "/sched/goroutines:goroutines" → "go_sched_goroutines",
+// "/gc/cycles/total:gc-cycles" → "go_gc_cycles_total_gc_cycles". The unit is
+// appended only when the path does not already end with it.
+func promRuntimeName(key string) string {
+	path, unit, _ := strings.Cut(strings.TrimPrefix(key, "/"), ":")
+	clean := func(s string) string {
+		return strings.NewReplacer("/", "_", "-", "_").Replace(s)
+	}
+	path, unit = clean(path), clean(unit)
+	if unit != "" && !strings.HasSuffix(path, unit) {
+		path += "_" + unit
+	}
+	return "go_" + path
+}
+
+// writeRuntimeMetrics appends a point-in-time runtime/metrics snapshot to a
+// Prometheus scrape, one gauge per curated sample. Values are host-side and
+// non-deterministic by nature, which is why they are written straight to the
+// scrape instead of through a telemetry recorder.
+func writeRuntimeMetrics(w io.Writer) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples[i].Name = s.name
+	}
+	metrics.Read(samples)
+	for i, s := range samples {
+		var v float64
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			continue // KindBad (unknown on this Go version) or a histogram
+		}
+		name := promRuntimeName(s.Name)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, runtimeSamples[i].help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %g\n", name, v)
+	}
+}

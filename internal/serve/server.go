@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -221,13 +222,19 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one job through the cache layers and the engine.
+// execute runs one job through the cache layers and the engine. Every phase
+// is stamped onto the job's wall-clock trace (lapClock → j.addSpan) and the
+// queue-wait and run-duration histograms; none of that timing can reach the
+// cached result or event bytes, which stay pure functions of the spec.
 func (s *Server) execute(j *Job) {
-	j.start(s.now())
+	wait := j.start(s.now())
+	s.observe("stencilserve_queue_wait_seconds", wait.Seconds())
+	lap := newLapClock(s.now, j.addSpan)
 
 	// Layer 1: whole-result cache. A hit replays the stored bytes — no
 	// engine run at all. Correct because Hash determines the result bytes.
 	if e, ok := s.results.Get(j.Hash); ok {
+		lap.lap("cache-lookup", "result-hit")
 		j.finish(s.now(), e.result, e.events, nil, true, false)
 		s.count("stencilserve_jobs_completed_total", telemetry.Label{Key: "cache", Value: "result"})
 		return
@@ -243,8 +250,15 @@ func (s *Server) execute(j *Job) {
 			usedSetup = true
 		}
 	}
+	if usedSetup {
+		lap.lap("cache-lookup", "setup-hit")
+	} else {
+		lap.lap("cache-lookup", "miss")
+	}
 
-	out, err := runJob(j.Spec, j.Hash, preset, j.preempt.Load)
+	runStart := s.now()
+	out, err := runJob(j.Spec, j.Hash, preset, j.preempt.Load, lap)
+	s.observe("stencilserve_run_seconds", s.now().Sub(runStart).Seconds())
 	if err == errPreempted {
 		// The engine honored a mid-run /cancel: the job ends cancelled (not
 		// failed), its partial bytes are never cached, and this worker is
@@ -285,6 +299,16 @@ func (s *Server) observeVirtual(sec float64) {
 	s.telMu.Unlock()
 }
 
+// observe records one sample in a wall-clock latency histogram under the
+// recorder mutex. Serve's recorder is operator-facing (scraped, never
+// byte-gated), so host-dependent latencies are fine here — unlike engine
+// recorders, which hold virtual-time quantities only.
+func (s *Server) observe(name string, v float64) {
+	s.telMu.Lock()
+	s.tel.Histogram(name, telemetry.SecondsBuckets).Observe(v)
+	s.telMu.Unlock()
+}
+
 // CacheStats reports both caches' cumulative hit/miss counters.
 func (s *Server) CacheStats() (resultHits, resultMisses, setupHits, setupMisses int64) {
 	resultHits, resultMisses = s.results.Stats()
@@ -304,9 +328,11 @@ func (s *Server) QueueDepth() int { return s.queue.depth() }
 //	GET    /v1/jobs/{id}       status with spec
 //	GET    /v1/jobs/{id}/result  deterministic result document (409 until done)
 //	GET    /v1/jobs/{id}/events  NDJSON stream, follows a live job
+//	GET    /v1/jobs/{id}/trace   wall-clock trace (?format=perfetto for Chrome JSON)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job (409 if done)
-//	GET    /metrics            Prometheus text
+//	GET    /metrics            Prometheus text + runtime/metrics snapshot
 //	GET    /healthz            200, or 503 when draining
+//	GET    /debug/pprof/       host-side CPU/heap/goroutine profiling
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -314,9 +340,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Admin profiling: the stdlib pprof handlers, registered explicitly so
+	// the service's mux (not http.DefaultServeMux) serves them.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -405,6 +439,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j.Stream(w)
 }
 
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	t := j.trace()
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json")
+		t.WritePerfetto(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -436,6 +484,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.tel.Gauge("stencilserve_result_cache_entries").Set(float64(s.results.Len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.tel.WritePrometheus(w)
+	// The Go runtime's own health (heap, GC, scheduler) is appended after the
+	// recorder's families rather than stored in the recorder: these are
+	// host-side point-in-time readings, not part of the service's counters.
+	writeRuntimeMetrics(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -179,8 +179,24 @@ type Engine struct {
 	flushers  []func()
 	needFlush bool
 
+	counts Counts // deterministic activity tally (see Counts)
+
 	par parExec // deferred-payload executor (see parallel.go)
 }
+
+// Counts is a deterministic tally of engine activity, read by the perf
+// ledger and the benchmark matrix. Every field is a pure function of the
+// simulated run — all mutations happen in engine event context — so counts
+// are bit-identical across reruns and payload worker counts.
+type Counts struct {
+	Scheduled uint64 // events scheduled or rescheduled (At, After, Reschedule, Sleep)
+	Executed  uint64 // event callbacks fired
+	Spawned   uint64 // processes spawned
+	PeakQueue int    // high-water mark of the pending-event queue
+}
+
+// Counts returns the engine's activity tally so far.
+func (e *Engine) Counts() Counts { return e.counts }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -235,6 +251,10 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	e.seq++
 	ev := &Event{when: t, seq: e.seq, fn: fn, eng: e}
 	e.queue.push(ev)
+	e.counts.Scheduled++
+	if n := len(e.queue); n > e.counts.PeakQueue {
+		e.counts.PeakQueue = n
+	}
 	return ev
 }
 
@@ -267,6 +287,10 @@ func (e *Engine) Reschedule(ev *Event, d Time) {
 		e.queue.fix(ev.index)
 	} else {
 		e.queue.push(ev)
+	}
+	e.counts.Scheduled++
+	if n := len(e.queue); n > e.counts.PeakQueue {
+		e.counts.PeakQueue = n
 	}
 }
 
@@ -308,6 +332,7 @@ func (e *Engine) Run() Time {
 			panic("sim: clock went backwards")
 		}
 		e.now = ev.when
+		e.counts.Executed++
 		ev.fn()
 	}
 	if e.nprocs > 0 {
@@ -343,6 +368,7 @@ type Proc struct {
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
 	e.nprocs++
+	e.counts.Spawned++
 	go func() {
 		<-p.resume // wait to be scheduled the first time
 		fn(p)

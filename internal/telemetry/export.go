@@ -189,41 +189,118 @@ func writeJSONValue(w *bufio.Writer, v any) error {
 }
 
 // WritePrometheus writes every metric in the Prometheus text exposition
-// format, sorted by (name, labels). Histograms expand to the conventional
-// _bucket/_sum/_count series; link tracks export as link_busy_seconds and
-// link_peak_util.
+// format. Series are grouped into metric families: each family name gets
+// exactly one # HELP and one # TYPE header regardless of how many labeled
+// series share it (repeating TYPE per series is invalid exposition format).
+// Histograms expand to the conventional _bucket/_sum/_count series; link
+// tracks export as link_busy_seconds and link_peak_util.
 func (r *Recorder) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	s := r.Snapshot()
-	for _, m := range s.Counters {
-		fmt.Fprintf(bw, "# TYPE %s counter\n%s%s %s\n", m.Name, m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value))
-	}
-	for _, m := range s.Gauges {
-		fmt.Fprintf(bw, "# TYPE %s gauge\n%s%s %s\n", m.Name, m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value))
-	}
-	for _, h := range s.Histograms {
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
-		cum := uint64(0)
-		for i, ub := range h.Buckets {
-			cum += h.Counts[i]
-			fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", promFloat(ub)), cum)
+	writeScalarFamilies(bw, s.Counters, "counter")
+	writeScalarFamilies(bw, s.Gauges, "gauge")
+
+	histNames, histsByName := groupHistograms(s.Histograms)
+	for _, name := range histNames {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", name, promHelp(name), name)
+		for _, h := range histsByName[name] {
+			cum := uint64(0)
+			for i, ub := range h.Buckets {
+				cum += h.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", promFloat(ub)), cum)
+			}
+			cum += h.Counts[len(h.Buckets)]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", ""), promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
 		}
-		cum += h.Counts[len(h.Buckets)]
-		fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum)
-		fmt.Fprintf(bw, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", ""), promFloat(h.Sum))
-		fmt.Fprintf(bw, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
 	}
 	if len(s.Links) > 0 {
-		fmt.Fprintf(bw, "# TYPE link_busy_seconds counter\n")
+		fmt.Fprintf(bw, "# HELP link_busy_seconds %s\n# TYPE link_busy_seconds counter\n", promHelp("link_busy_seconds"))
 		for _, l := range s.Links {
 			fmt.Fprintf(bw, "link_busy_seconds{link=%q} %s\n", l.Name, promFloat(l.BusySeconds))
 		}
-		fmt.Fprintf(bw, "# TYPE link_peak_util gauge\n")
+		fmt.Fprintf(bw, "# HELP link_peak_util %s\n# TYPE link_peak_util gauge\n", promHelp("link_peak_util"))
 		for _, l := range s.Links {
 			fmt.Fprintf(bw, "link_peak_util{link=%q} %s\n", l.Name, promFloat(l.Peak))
 		}
 	}
 	return bw.Flush()
+}
+
+// writeScalarFamilies groups counter or gauge series by family name and
+// emits one HELP/TYPE header per family. Snapshot orders series by
+// canonical key, which keeps label order stable within a family but can
+// interleave families when one name prefixes another — so grouping is by
+// explicit name, families emitted in sorted-name order.
+func writeScalarFamilies(bw *bufio.Writer, metrics []Metric, typ string) {
+	byName := make(map[string][]Metric)
+	var names []string
+	for _, m := range metrics {
+		if _, ok := byName[m.Name]; !ok {
+			names = append(names, m.Name)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, promHelp(name), name, typ)
+		for _, m := range byName[name] {
+			fmt.Fprintf(bw, "%s%s %s\n", m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+		}
+	}
+}
+
+func groupHistograms(hists []HistMetric) ([]string, map[string][]HistMetric) {
+	byName := make(map[string][]HistMetric)
+	var names []string
+	for _, h := range hists {
+		if _, ok := byName[h.Name]; !ok {
+			names = append(names, h.Name)
+		}
+		byName[h.Name] = append(byName[h.Name], h)
+	}
+	sort.Strings(names)
+	return names, byName
+}
+
+// promHelpText maps known metric families to their HELP line. Families not
+// listed fall back to a suffix-derived generic description in promHelp.
+var promHelpText = map[string]string{
+	"flownet_rebalances_total":   "waterfill rebalance passes over flow-network components",
+	"flownet_rebalance_links":    "links touched per waterfill rebalance pass",
+	"flownet_rebalance_flows":    "flows touched per waterfill rebalance pass",
+	"cudart_ops_total":           "completed CUDA ops by kind",
+	"cudart_op_bytes_total":      "bytes moved by CUDA ops by kind",
+	"cudart_op_seconds":          "virtual duration of CUDA ops by kind",
+	"mpi_retries_total":          "timed-out-and-aborted send attempts",
+	"mpi_retry_exhausted_total":  "sends whose retry budget ran out",
+	"mpi_protocol_total":         "reliable-delivery protocol actions by kind",
+	"link_quarantine_total":      "link health-gate transitions by action",
+	"verify_reexchanges_total":   "quadrants re-exchanged by end-to-end halo verification",
+	"faults_total":               "applied fault actions by kind",
+	"exchange_iterations_total":  "completed halo-exchange iterations",
+	"exchange_iteration_seconds": "virtual duration of one halo-exchange iteration",
+	"exchange_plans":             "cached exchange plans by method",
+	"link_busy_seconds":          "integral of link utilization over virtual time",
+	"link_peak_util":             "highest sampled link utilization",
+}
+
+// promHelp returns the HELP text for a metric family, falling back to a
+// generic description derived from the conventional name suffix.
+func promHelp(name string) string {
+	if h, ok := promHelpText[name]; ok {
+		return h
+	}
+	switch {
+	case strings.HasSuffix(name, "_total"):
+		return "monotonic event counter"
+	case strings.HasSuffix(name, "_seconds"):
+		return "duration in seconds"
+	case strings.HasSuffix(name, "_bytes"):
+		return "size in bytes"
+	}
+	return "simulation metric"
 }
 
 // promFloat renders a float the way Go's JSON encoder does, so text and JSON

@@ -122,6 +122,7 @@ type Span struct {
 	name  string
 	start float64
 	ended bool
+	feat  Feature // "" = unattributed; set via StartSpanFeature
 }
 
 // SpanRecord is one completed span.
@@ -201,6 +202,11 @@ type Recorder struct {
 	spans  []SpanRecord
 	nextID int
 
+	// ledger accumulates per-feature cost attribution (ledger.go). It is
+	// fed by feature-tagged spans and the Attribute* methods and never
+	// leaks into Snapshot or the event log.
+	ledger map[Feature]*LedgerEntry
+
 	// LinkEvents controls whether every per-link utilization sample is also
 	// appended to the event log (kind "link"). On by default; the report
 	// tool's top-N hot links read these. Metrics and tracks are unaffected.
@@ -221,6 +227,7 @@ func New() *Recorder {
 		hists:      make(map[string]*Histogram),
 		metas:      make(map[string]metricMeta),
 		tracks:     make(map[string]*Track),
+		ledger:     make(map[Feature]*LedgerEntry),
 		LinkEvents: true,
 	}
 }
@@ -313,6 +320,11 @@ func (s *Span) End(t float64, tags ...Label) {
 		return
 	}
 	s.ended = true
+	if s.feat != "" {
+		e := s.r.entry(s.feat)
+		e.Spans++
+		e.VirtualSeconds += t - s.start
+	}
 	rec := SpanRecord{ID: s.id, Parent: s.par, Name: s.name, Start: s.start, End: t, Tags: tags}
 	s.r.spans = append(s.r.spans, rec)
 	fields := []Field{
@@ -371,6 +383,7 @@ func (r *Recorder) LinkSample(t float64, link string, util float64, flows int) {
 // Rebalanced records one waterfill pass over a component of the flow
 // network. Implements the flownet.Probe interface.
 func (r *Recorder) Rebalanced(t float64, links, flows, active int) {
+	r.AttributeEvent(FeatureBaseline)
 	r.Counter("flownet_rebalances_total").Inc()
 	r.Histogram("flownet_rebalance_links", CountBuckets).Observe(float64(links))
 	r.Histogram("flownet_rebalance_flows", CountBuckets).Observe(float64(flows))
@@ -379,6 +392,7 @@ func (r *Recorder) Rebalanced(t float64, links, flows, active int) {
 
 // RecordOp ingests one completed CUDA op record.
 func (r *Recorder) RecordOp(kind, name string, device int, stream string, start, end float64, bytes int64) {
+	r.AttributeEvent(FeatureBaseline)
 	kl := L("kind", kind)
 	r.Counter("cudart_ops_total", kl).Inc()
 	r.Counter("cudart_op_bytes_total", kl).Add(float64(bytes))
@@ -390,6 +404,7 @@ func (r *Recorder) RecordOp(kind, name string, device int, stream string, start,
 
 // MPIRetry records one timed-out-and-aborted send attempt.
 func (r *Recorder) MPIRetry(t float64, name string, attempt int) {
+	r.AttributeEvent(FeatureReliable)
 	r.Counter("mpi_retries_total").Inc()
 	r.Event(t, "retry", F("name", name), F("attempt", attempt))
 }
@@ -399,6 +414,7 @@ func (r *Recorder) MPIRetry(t float64, name string, attempt int) {
 // take arbitrarily long on a crawling link. Emitted when that final attempt
 // starts.
 func (r *Recorder) MPIRetryExhausted(t float64, name string, attempts int) {
+	r.AttributeEvent(FeatureReliable)
 	r.Counter("mpi_retry_exhausted_total").Inc()
 	r.Event(t, "retry_exhausted", F("name", name), F("attempts", attempts))
 }
@@ -407,6 +423,7 @@ func (r *Recorder) MPIRetryExhausted(t float64, name string, attempts int) {
 // dup, dedup, retransmit, nack, ackdrop, exhausted). link may be empty for
 // end-to-end actions not attributable to a single link.
 func (r *Recorder) MPIProtocol(t float64, kind, link string, src, dst int, seq uint64, attempt int) {
+	r.AttributeEvent(FeatureReliable)
 	r.Counter("mpi_protocol_total", L("kind", kind)).Inc()
 	r.Event(t, "proto",
 		F("proto", kind), F("link", link), F("src", src), F("dst", dst),
@@ -416,6 +433,7 @@ func (r *Recorder) MPIProtocol(t float64, kind, link string, src, dst int, seq u
 // LinkQuarantine records a health-gate transition for one link: action is
 // "enter" or "exit", score the EWMA badness at the transition.
 func (r *Recorder) LinkQuarantine(t float64, link, action string, score float64) {
+	r.AttributeEvent(FeatureAdapt)
 	r.Counter("link_quarantine_total", L("action", action)).Inc()
 	r.Event(t, "quarantine", F("link", link), F("action", action), F("score", score))
 }
@@ -423,12 +441,14 @@ func (r *Recorder) LinkQuarantine(t float64, link, action string, score float64)
 // VerifyRound records one end-to-end halo-verification round that found bad
 // quadrants and re-exchanged them.
 func (r *Recorder) VerifyRound(t float64, iter, round, bad int, forced bool) {
+	r.AttributeEvent(FeatureVerify)
 	r.Counter("verify_reexchanges_total").Add(float64(bad))
 	r.Event(t, "verify", F("iter", iter), F("round", round), F("bad", bad), F("forced", forced))
 }
 
 // FaultApplied records one applied fault action.
 func (r *Recorder) FaultApplied(t float64, kind, desc string) {
+	r.AttributeEvent(FeatureBaseline)
 	r.Counter("faults_total", L("kind", kind)).Inc()
 	r.Event(t, "fault", F("fault", kind), F("desc", desc))
 }

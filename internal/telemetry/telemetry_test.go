@@ -207,6 +207,40 @@ func TestPrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestPrometheusFamilyGrouping pins the exposition-format contract: one
+// HELP and one TYPE header per metric family no matter how many labeled
+// series share the name, even when one family name prefixes another (the
+// canonical-key sort interleaves such families).
+func TestPrometheusFamilyGrouping(t *testing.T) {
+	r := New()
+	r.Counter("mpi_protocol_total", L("kind", "drop")).Inc()
+	r.Counter("mpi_protocol_total", L("kind", "retransmit")).Inc()
+	r.Counter("mpi_protocol").Inc() // prefix of the family above
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE mpi_protocol_total counter\n"); n != 1 {
+		t.Fatalf("want exactly 1 TYPE header for mpi_protocol_total, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "# HELP mpi_protocol_total ") {
+		t.Fatalf("missing HELP line for mpi_protocol_total:\n%s", out)
+	}
+	// Series of one family must be contiguous under their header.
+	header := "# TYPE mpi_protocol_total counter\n"
+	rest := out[strings.Index(out, header)+len(header):]
+	block := rest
+	if end := strings.Index(rest, "# "); end >= 0 {
+		block = rest[:end]
+	}
+	for _, want := range []string{`mpi_protocol_total{kind="drop"} 1`, `mpi_protocol_total{kind="retransmit"} 1`} {
+		if !strings.Contains(block, want) {
+			t.Fatalf("series %q not under its family header:\n%s", want, out)
+		}
+	}
+}
+
 func TestDiffReports(t *testing.T) {
 	mk := func(v float64) *Report {
 		r := New()
