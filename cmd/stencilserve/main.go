@@ -4,8 +4,12 @@
 // exploits determinism with two cache layers (whole-result and setup).
 //
 //	stencilserve -addr :8080          # serve until SIGTERM (graceful drain)
+//	stencilserve -data-dir /var/lib/stencilserve -addr :8080
+//	                                  # durable: journal + cache spill, crash-safe
 //	stencilserve -loadtest 2000       # self-contained load test, JSON report
 //	stencilserve -smoke               # deterministic smoke matrix (CI gate)
+//	stencilserve -crashsmoke          # kill/recover + journal-overhead report
+//	stencilserve -journal-dump DIR    # pretty-print a data directory's journal
 package main
 
 import (
@@ -45,6 +49,17 @@ func run(args []string, out io.Writer) error {
 	concurrency := fs.Int("concurrency", 64, "load-test client concurrency")
 	smoke := fs.Bool("smoke", false, "run the deterministic smoke matrix and exit")
 	outPath := fs.String("out", "", "write the load-test/smoke report here instead of stdout")
+	dataDir := fs.String("data-dir", "", "durable data directory (job journal + cache spill); empty = in-memory")
+	journalDump := fs.String("journal-dump", "", "pretty-print the journal in this data directory (or file) and exit")
+	crashsmoke := fs.Bool("crashsmoke", false, "run the kill/recover crash smoke and journal-overhead measurement, then exit")
+	ref := fs.String("ref", "", "crashsmoke: gate against this reference report (byte-exact deterministic section, overhead <= 1.5x)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant submit rate budget, jobs/s (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 0, "per-tenant submit burst (0 = max(1, rate))")
+	quotaInFlight := fs.Int("quota-inflight", 0, "per-tenant queued+running job budget (0 = unlimited)")
+	quotaBytes := fs.Int64("quota-bytes", 0, "per-tenant stored-result bytes budget (0 = unlimited)")
+	degradeDepth := fs.Int("degrade-depth", 0, "queue depth that enters degraded mode (0 = disabled)")
+	shedDepth := fs.Int("shed-depth", 0, "queue depth that sheds all new submissions (0 = queue-depth)")
+	shedAge := fs.Duration("shed-age", 0, "oldest-queued-job age that sheds all new submissions (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,8 +79,27 @@ func run(args []string, out io.Writer) error {
 		QueueDepth:         *queueDepth,
 		ResultCacheEntries: *resultCache,
 		SetupCacheEntries:  *setupCache,
+		DataDir:            *dataDir,
+		TenantQuota: serve.Quota{
+			SubmitRate:     *quotaRate,
+			SubmitBurst:    *quotaBurst,
+			MaxInFlight:    *quotaInFlight,
+			MaxStoredBytes: *quotaBytes,
+		},
+		DegradeDepth: *degradeDepth,
+		ShedDepth:    *shedDepth,
+		ShedAge:      *shedAge,
 	}
 	switch {
+	case *journalDump != "":
+		var buf bytes.Buffer
+		if err := serve.DumpJournal(*journalDump, &buf); err != nil {
+			return err
+		}
+		_, err := report.Write(buf.Bytes())
+		return err
+	case *crashsmoke:
+		return runCrashSmoke(cfg, *ref, report, out)
 	case *smoke:
 		return runSmoke(cfg, report)
 	case *loadtest > 0:
@@ -84,7 +118,10 @@ func serveForever(cfg serve.Config, addr string, out io.Writer) error {
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	s := serve.NewServer(cfg)
+	s, err := serve.Open(cfg)
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 
 	ln, err := net.Listen("tcp", addr)
@@ -93,6 +130,12 @@ func serveForever(cfg serve.Config, addr string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "stencilserve listening on %s (%d workers, queue %d)\n",
 		ln.Addr(), cfg.Workers, cfg.QueueDepth)
+	if cfg.DataDir != "" {
+		rec := s.Recovery()
+		fmt.Fprintf(out, "durable data dir %s: recovered %d journal records (%d torn), re-enqueued %d jobs, restored %d terminal, rehydrated %d results / %d setups\n",
+			cfg.DataDir, rec.JournalRecords, rec.TornRecords, rec.Reenqueued, rec.Completed,
+			rec.ResultsRehydrated, rec.SetupsRehydrated)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -405,34 +448,51 @@ func runLoadTest(cfg serve.Config, n, concurrency int, report, log io.Writer) er
 
 // ---- HTTP client helpers ----
 
+// submitAndWait submits a job and blocks for its terminal state. A 429
+// (quota or shedding) is retried after the server's Retry-After hint — the
+// well-behaved-client half of the backpressure contract — so a load test
+// with quotas enabled converges to the budget instead of failing.
 func submitAndWait(base, tenant string, spec *jobspec.Spec) (serve.Status, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return serve.Status{}, err
 	}
-	req, err := http.NewRequest("POST", base+"/v1/jobs?wait=1", bytes.NewReader(body))
-	if err != nil {
-		return serve.Status{}, err
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", base+"/v1/jobs?wait=1", bytes.NewReader(body))
+		if err != nil {
+			return serve.Status{}, err
+		}
+		req.Header.Set("X-Tenant", tenant)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return serve.Status{}, err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return serve.Status{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 120 {
+			wait := time.Second
+			if ra, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err == nil && ra > 0 {
+				wait = ra
+			}
+			if wait > 2*time.Second {
+				wait = 2 * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return serve.Status{}, fmt.Errorf("submit: %d %s", resp.StatusCode, b)
+		}
+		var st serve.Status
+		if err := json.Unmarshal(b, &st); err != nil {
+			return serve.Status{}, err
+		}
+		return st, nil
 	}
-	req.Header.Set("X-Tenant", tenant)
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return serve.Status{}, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return serve.Status{}, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return serve.Status{}, fmt.Errorf("submit: %d %s", resp.StatusCode, b)
-	}
-	var st serve.Status
-	if err := json.Unmarshal(b, &st); err != nil {
-		return serve.Status{}, err
-	}
-	return st, nil
 }
 
 func fetch(url string) ([]byte, error) {

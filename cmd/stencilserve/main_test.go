@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nodeaware/stencil/internal/serve"
+)
+
+// TestJournalDumpSmoke drives the -journal-dump flag end to end: a durable
+// server takes jobs from two tenants, is killed mid-flight, and the dump
+// must tally both tenants plus the incomplete-jobs note an operator uses to
+// decide whether a restart will re-enqueue work.
+func TestJournalDumpSmoke(t *testing.T) {
+	dir := t.TempDir()
+	s, err := serve.Open(serve.Config{Workers: -1, DataDir: dir, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		tenant := "alice"
+		if i%2 == 1 {
+			tenant = "bob"
+		}
+		if _, err := s.Submit(tenant, crashSpec(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	s.Kill()
+
+	var out bytes.Buffer
+	if err := run([]string{"-journal-dump", dir}, &out); err != nil {
+		t.Fatalf("journal-dump: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"alice", "bob", "TOTAL", "4 jobs", "no terminal record"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("journal-dump output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The flag also accepts the journal file itself.
+	out.Reset()
+	if err := run([]string{"-journal-dump", filepath.Join(dir, serve.JournalName)}, &out); err != nil {
+		t.Fatalf("journal-dump file: %v", err)
+	}
+	if !strings.Contains(out.String(), "TOTAL") {
+		t.Errorf("journal-dump on file missing TOTAL:\n%s", out.String())
+	}
+}
+
+// TestJournalDumpMissing: pointing the dump at an empty directory is not an
+// error — it reports zero jobs (the journal simply does not exist yet).
+func TestJournalDumpMissing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-journal-dump", t.TempDir()}, &out); err != nil {
+		t.Fatalf("journal-dump empty dir: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 jobs") {
+		t.Errorf("expected zero-job report, got:\n%s", out.String())
+	}
+}
+
+// TestCrashsmokeGate exercises the -ref gate logic: an identical report
+// passes, a diverged deterministic section fails byte-compare, and an
+// overhead ratio past the budget fails even with matching bytes.
+func TestCrashsmokeGate(t *testing.T) {
+	rep := &crashReport{
+		Schema: crashSchema,
+		Deterministic: crashDeterministic{
+			JobsSubmitted: 2, DistinctSpecs: 1, RecoveredJobs: 2,
+			AllRecoveredDone: true, ByteIdentical: true,
+			Specs: []crashSpecDigest{{SpecHash: "abc", ResultSHA256: "def"}},
+		},
+		Overhead: crashOverhead{OverheadRatio: 1.2},
+	}
+	refPath := filepath.Join(t.TempDir(), "ref.json")
+	refBytes, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(refPath, refBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	if err := gateAgainstRef(refPath, rep, &log); err != nil {
+		t.Fatalf("identical report should pass gate: %v", err)
+	}
+
+	diverged := *rep
+	diverged.Deterministic.Specs = []crashSpecDigest{{SpecHash: "abc", ResultSHA256: "OTHER"}}
+	if err := gateAgainstRef(refPath, &diverged, &log); err == nil {
+		t.Fatal("diverged deterministic section must fail the gate")
+	}
+
+	slow := *rep
+	slow.Overhead.OverheadRatio = maxOverheadRat + 0.01
+	if err := gateAgainstRef(refPath, &slow, &log); err == nil {
+		t.Fatal("overhead ratio past the budget must fail the gate")
+	}
+}

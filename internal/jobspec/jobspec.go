@@ -84,6 +84,20 @@ type Spec struct {
 	// for the JSON shape). Validate surfaces scenario errors before a job is
 	// accepted.
 	Scenario *fault.Scenario `json:"scenario,omitempty"`
+
+	// Serving metadata (stencilserve). Neither field changes what the engine
+	// computes, so both are excluded from Canonical/Hash/SetupHash: a job with
+	// a deadline that completes in time produces bytes identical to the same
+	// job without one, and fragmenting the content-addressed caches on who
+	// submitted a job or how patient they are would only lower hit rates.
+	//
+	// Tenant names the submitting tenant when no X-Tenant header is set (the
+	// header wins). DeadlineSeconds is a wall-clock budget for the whole job
+	// (queue wait + run), measured from acknowledgment; the serving layer
+	// preempts an over-deadline run at the engine's next iteration safe point
+	// and fails the job without caching anything. 0 means no deadline.
+	Tenant          string  `json:"tenant,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_s,omitempty"`
 }
 
 // Default returns stencilsim's default job: one Summit node, six ranks, the
@@ -242,6 +256,12 @@ func (s *Spec) Validate() error {
 	if c.SendTimeout < 0 {
 		return fmt.Errorf("jobspec: negative send_timeout %g", c.SendTimeout)
 	}
+	if c.DeadlineSeconds < 0 {
+		return fmt.Errorf("jobspec: negative deadline_s %g", c.DeadlineSeconds)
+	}
+	if err := ValidTenant(c.Tenant); err != nil {
+		return err
+	}
 	// The overlap pipeline's compatibility matrix (mirrors exchange.New) so
 	// bad specs are rejected at admission, not at engine-build time.
 	if c.Overlap {
@@ -329,13 +349,36 @@ func canonicalJSON(v any) []byte {
 	return b
 }
 
+// ValidTenant checks a tenant name: empty is allowed (the serving layer
+// substitutes "anonymous"), otherwise up to 64 characters drawn from
+// [A-Za-z0-9._-]. The charset keeps tenant names safe as journal fields,
+// metric label values, and query parameters.
+func ValidTenant(tenant string) error {
+	if len(tenant) > 64 {
+		return fmt.Errorf("jobspec: tenant name longer than 64 characters")
+	}
+	for _, r := range tenant {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("jobspec: tenant %q contains %q (want [A-Za-z0-9._-])", tenant, r)
+		}
+	}
+	return nil
+}
+
 // Canonical returns the canonical JSON of the normalized spec: the bytes two
-// specs describing the same job agree on, and the preimage of Hash.
+// specs describing the same job agree on, and the preimage of Hash. Serving
+// metadata (Tenant, DeadlineSeconds) is cleared first: it never reaches the
+// engine, so specs differing only in it are the same job.
 func (s *Spec) Canonical() ([]byte, error) {
 	c := *s
 	if err := c.Normalize(); err != nil {
 		return nil, err
 	}
+	c.Tenant = ""
+	c.DeadlineSeconds = 0
 	return canonicalJSON(&c), nil
 }
 

@@ -185,6 +185,9 @@ func TestValidateErrors(t *testing.T) {
 		{"overlap vs aggregate", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, AggregateRemote: true}, "aggregate_remote"},
 		{"overlap vs adapt_placement", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, Adaptive: true, AdaptPlacement: true}, "adapt_placement"},
 		{"overlap vs cuda_aware", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Overlap: true, CUDAAware: true}, "cuda_aware"},
+		{"negative deadline", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, DeadlineSeconds: -1}, "deadline_s"},
+		{"bad tenant charset", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Tenant: "a b"}, "tenant"},
+		{"long tenant", Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1, Tenant: strings.Repeat("x", 65)}, "tenant"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()
@@ -195,6 +198,30 @@ func TestValidateErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// Serving metadata (tenant, deadline) is not part of the job's identity: two
+// specs differing only in it are the same job and must share both content
+// addresses — otherwise every tenant would fragment the result cache.
+func TestHashIgnoresServingMetadata(t *testing.T) {
+	base := &Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1}
+	meta := &Spec{Nodes: 1, RanksPerNode: 2, Domain: "12", Radius: 1, Quantities: 1,
+		Tenant: "alice", DeadlineSeconds: 2.5}
+	if got, want := mustHash(t, meta), mustHash(t, base); got != want {
+		t.Errorf("tenant/deadline changed the job hash: %s vs %s", got, want)
+	}
+	if got, want := mustSetupHash(t, meta), mustSetupHash(t, base); got != want {
+		t.Errorf("tenant/deadline changed the setup hash: %s vs %s", got, want)
+	}
+	// ...but Normalize keeps them on the spec itself: the serving layer reads
+	// them after normalization.
+	c := *meta
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tenant != "alice" || c.DeadlineSeconds != 2.5 {
+		t.Errorf("Normalize dropped serving metadata: %+v", c)
 	}
 }
 

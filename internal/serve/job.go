@@ -41,6 +41,17 @@ type Job struct {
 	// polls it at every iteration safe point via stencil.Config.Preempt and
 	// stops the run at the next boundary.
 	preempt atomic.Bool
+	// deadlineHit records that the run's preempt poll fired because the job
+	// exceeded its deadline (not because of a /cancel): the worker finalizes
+	// such a run as failed, never cancelled, and caches nothing.
+	deadlineHit atomic.Bool
+
+	// deadline is the job's wall-clock completion deadline (zero = none),
+	// set at admission from spec.DeadlineSeconds.
+	deadline time.Time
+	// attempts counts how many times a worker started this job; >1 means it
+	// was retried after its worker died.
+	attempts int
 
 	state       State
 	err         string
@@ -59,6 +70,9 @@ type Job struct {
 	// by /v1/jobs/{id}/trace. Host-side and operator-facing only: never
 	// cached, never part of the deterministic result or event bytes.
 	spans []TraceSpan
+
+	// recovered marks a job rebuilt from the journal after a restart.
+	recovered bool
 }
 
 func newJob(id, tenant string, spec *jobspec.Spec, hash, setupHash string, now time.Time) *Job {
@@ -96,15 +110,38 @@ func (j *Job) appendLineLocked(l streamLine) {
 }
 
 // start transitions queued → running and returns how long the job waited in
-// the queue. The wait also becomes the trace's first span.
-func (j *Job) start(now time.Time) time.Duration {
+// the queue plus the attempt number. The wait also becomes the trace's first
+// span.
+func (j *Job) start(now time.Time) (wait time.Duration, attempt int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateRunning
 	j.started = now
+	j.attempts++
 	j.appendSpanLocked("queue-wait", j.submitted, now, "")
 	j.appendLineLocked(streamLine{Kind: "state", State: string(StateRunning), Job: j.ID})
-	return now.Sub(j.submitted)
+	return now.Sub(j.submitted), j.attempts
+}
+
+// requeue transitions running → queued after the job's worker died (the
+// bounded-retry path). Reports false if the job reached a terminal state in
+// the meantime (e.g. a racing cancel).
+func (j *Job) requeue() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false
+	}
+	j.state = StateQueued
+	j.appendLineLocked(streamLine{Kind: "state", State: string(StateQueued), Job: j.ID})
+	return true
+}
+
+// submittedTime returns the job's submission instant (queue-age watermark).
+func (j *Job) submittedTime() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted
 }
 
 // addSpan appends one wall-clock span to the job's trace.
@@ -231,6 +268,9 @@ type Status struct {
 	Submitted time.Time     `json:"submitted"`
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
+	Deadline  *time.Time    `json:"deadline,omitempty"`
+	Attempts  int           `json:"attempts,omitempty"` // >1: retried after a worker death
+	Recovered bool          `json:"recovered,omitempty"`
 	Spec      *jobspec.Spec `json:"spec,omitempty"`
 }
 
@@ -256,6 +296,12 @@ func (j *Job) status(withSpec bool) Status {
 		t := j.finished
 		st.Finished = &t
 	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		st.Deadline = &t
+	}
+	st.Attempts = j.attempts
+	st.Recovered = j.recovered
 	if withSpec {
 		st.Spec = j.Spec
 	}

@@ -1,0 +1,465 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The write-ahead job journal.
+//
+// Every job lifecycle transition appends one NDJSON record to
+// <data-dir>/journal.ndjson. The single durability contract of the service
+// is: a submit is acknowledged (HTTP 202 / Submit returning a job) only
+// after its "submitted" record — which embeds the full normalized spec — is
+// fsync'd. Everything else (started/completed/failed/cancelled records, the
+// disk spill of result bytes) is an optimization: losing it in a crash costs
+// a recompute on recovery, never a wrong answer, because the engine is
+// deterministic — replaying a spec yields byte-identical results.
+//
+// Appends use group commit with a dedicated syncer goroutine: appenders
+// write their line into a buffered writer under the mutex and (for durable
+// appends) wait; the syncer flushes the buffer and fsyncs, covering every
+// record written since the previous commit began. Under concurrent submits
+// one flush+fsync amortizes over the whole batch, which is what keeps
+// journaling within the 1.5x throughput budget.
+
+// JournalName is the WAL file name inside a data directory.
+const JournalName = "journal.ndjson"
+
+// journalVersion guards record decoding; unknown versions are skipped as
+// corrupt rather than misinterpreted.
+const journalVersion = 1
+
+// Journal record kinds. "submitted" is the only durable-before-ack record
+// and the only one carrying the spec; the rest advance the job's replayed
+// state machine.
+const (
+	recSubmitted = "submitted"
+	recStarted   = "started"
+	recCompleted = "completed"
+	recFailed    = "failed"
+	recCancelled = "cancelled"
+)
+
+// journalRecord is one NDJSON line of the WAL.
+type journalRecord struct {
+	V         int             `json:"v"`
+	Rec       string          `json:"rec"`
+	Job       string          `json:"job"`
+	Tenant    string          `json:"tenant,omitempty"`
+	SpecHash  string          `json:"spec_hash,omitempty"`
+	SetupHash string          `json:"setup_hash,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Attempt   int             `json:"attempt,omitempty"`
+	Cache     string          `json:"cache,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	// UnixNano is a wall-clock stamp for operators (journal-dump); recovery
+	// never depends on it.
+	UnixNano int64 `json:"ts,omitempty"`
+}
+
+// errJournalDead reports an append on a journal after kill() — the simulated
+// post-SIGKILL state. Callers treat it like a crash: the write never happened.
+var errJournalDead = errors.New("serve: journal is dead")
+
+// journal is the append side of the WAL.
+type journal struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast: synced advanced, or death/error
+	want *sync.Cond // signal: a durable appender raised wantSync
+	f    *os.File
+	// w buffers record writes; the syncer flushes it before every fsync, so
+	// an acked record is always on disk. Buffered-but-unflushed records are
+	// all unacked (non-durable, or durable appenders still waiting) — losing
+	// them in a crash is within the durability contract.
+	w      *bufio.Writer
+	err    error // first write/sync error; sticky
+	dead   bool  // kill(): simulate process death, drop all writes
+	closed bool  // graceful close(): syncer drained and exited
+	seq    int64 // last sequence number handed out
+	synced int64 // last sequence number covered by a completed fsync
+	// wantSync is the highest sequence number a durable appender is waiting
+	// on; the syncer goroutine sleeps whenever synced has caught up to it.
+	wantSync int64
+
+	records int64 // appended records
+	bytes   int64 // appended bytes
+	syncs   int64 // fsync calls (group commits)
+
+	done chan struct{} // syncer exited
+}
+
+// openJournal opens (creating if needed) the WAL for appending and starts
+// its group-commit syncer.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	j := &journal{f: f, w: bufio.NewWriterSize(f, 64<<10), done: make(chan struct{})}
+	j.cond = sync.NewCond(&j.mu)
+	j.want = sync.NewCond(&j.mu)
+	go j.syncLoop()
+	return j, nil
+}
+
+// groupCommitWindow rate-limits fsyncs under sustained load: once a commit
+// has happened, the next one waits out the remainder of the window so the
+// batch behind it grows. An idle journal (no commit within the last window)
+// syncs immediately, so a lone submit still acks in one fsync latency. The
+// window bounds worst-case ack latency at a few milliseconds — far below a
+// job's runtime — and is what keeps journaling inside the 1.5x throughput
+// budget when fsync latency rivals job duration.
+const groupCommitWindow = 2 * time.Millisecond
+
+// syncLoop is the dedicated group-commit goroutine: it fsyncs whenever
+// durable appenders are waiting, so each commit covers every record written
+// since the previous one began. A dedicated syncer batches markedly better
+// under CPU load than leader election among the appenders — there is no
+// per-commit wakeup handoff on the critical path, appenders just pile up
+// behind the in-flight commit.
+func (j *journal) syncLoop() {
+	defer close(j.done)
+	var lastSync time.Time
+	j.mu.Lock()
+	for {
+		for !j.dead && j.err == nil && j.synced >= j.wantSync {
+			j.want.Wait()
+		}
+		if j.dead || j.err != nil {
+			j.mu.Unlock()
+			return
+		}
+		if wait := groupCommitWindow - time.Since(lastSync); wait > 0 {
+			// Recent commit: let the batch accumulate before the next one.
+			j.mu.Unlock()
+			time.Sleep(wait)
+			j.mu.Lock()
+			if j.dead || j.err != nil {
+				j.mu.Unlock()
+				return
+			}
+		}
+		target := j.seq
+		ferr := j.w.Flush()
+		j.mu.Unlock()
+		serr := j.f.Sync()
+		if serr == nil {
+			serr = ferr
+		}
+		lastSync = time.Now()
+		j.mu.Lock()
+		if j.dead { // killed mid-fsync: the commit never happened
+			j.cond.Broadcast()
+			j.mu.Unlock()
+			return
+		}
+		if serr != nil {
+			if j.err == nil {
+				j.err = fmt.Errorf("serve: journal sync: %w", serr)
+			}
+		} else if target > j.synced {
+			j.synced = target
+			j.syncs++
+		}
+		j.cond.Broadcast()
+	}
+}
+
+// append writes one record. durable waits until an fsync covers it (group
+// commit); non-durable returns after the OS write — its loss in a crash is
+// repaired by recovery recomputing, so only submit acks pay for the fsync.
+func (j *journal) append(r journalRecord, durable bool) error {
+	r.V = journalVersion
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("serve: journal marshal: %w", err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead || j.closed {
+		return errJournalDead
+	}
+	if j.err != nil {
+		return j.err
+	}
+	j.seq++
+	mySeq := j.seq
+	if _, werr := j.w.Write(line); werr != nil {
+		j.err = fmt.Errorf("serve: journal write: %w", werr)
+		j.cond.Broadcast()
+		j.want.Broadcast()
+		return j.err
+	}
+	j.records++
+	j.bytes += int64(len(line))
+	if !durable {
+		return nil
+	}
+	if mySeq > j.wantSync {
+		j.wantSync = mySeq
+	}
+	j.want.Signal()
+	for j.synced < mySeq && j.err == nil && !j.dead {
+		j.cond.Wait()
+	}
+	if j.dead {
+		return errJournalDead
+	}
+	return j.err
+}
+
+// kill simulates process death: all subsequent writes are dropped and the
+// file handle closes without a flush. The crash-restart tests use this as
+// the in-process SIGKILL.
+func (j *journal) kill() {
+	j.mu.Lock()
+	if j.dead || j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.dead = true
+	j.f.Close()
+	j.cond.Broadcast()
+	j.want.Broadcast()
+	j.mu.Unlock()
+	<-j.done
+}
+
+// close flushes and closes the journal (graceful shutdown).
+func (j *journal) close() error {
+	j.mu.Lock()
+	if j.dead || j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.dead = true // stops the syncer; the final flush happens below
+	j.cond.Broadcast()
+	j.want.Broadcast()
+	j.mu.Unlock()
+	<-j.done
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	ferr := j.w.Flush()
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// journalStats is the operator-facing view of the append side.
+type journalStats struct {
+	Records int64
+	Bytes   int64
+	Syncs   int64
+}
+
+func (j *journal) stats() journalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return journalStats{Records: j.records, Bytes: j.bytes, Syncs: j.syncs}
+}
+
+// ---- replay side ----
+
+// journalJob is the replayed view of one job: the fold of its records. The
+// state machine is tolerant of records arriving out of order in the file
+// (a completed record written by a racing worker before the queue push's
+// submitted record lands): terminal kinds dominate started, which dominates
+// submitted, and the spec attaches whenever the submitted record is seen.
+type journalJob struct {
+	ID        string
+	Tenant    string
+	SpecHash  string
+	SetupHash string
+	Spec      json.RawMessage
+	State     string // last-seen highest-precedence record kind
+	Attempts  int    // count of started records
+	Cache     string // completed record's cache annotation
+	Error     string // failed record's message
+}
+
+// terminal reports whether the replayed job reached a terminal record.
+func (jj *journalJob) terminal() bool {
+	switch jj.State {
+	case recCompleted, recFailed, recCancelled:
+		return true
+	}
+	return false
+}
+
+// journalReplay is the result of reading a WAL: per-job folds in first-seen
+// order, plus corruption accounting.
+type journalReplay struct {
+	jobs  map[string]*journalJob
+	order []string
+	// records is the count of well-formed records; torn counts skipped
+	// lines — truncated trailing writes from a crash, or corrupt bytes.
+	records int
+	torn    int
+}
+
+// readJournal loads and folds a WAL. Undecodable lines (a torn final record
+// from a crash mid-write, bit rot, an unknown version) are counted and
+// skipped — never a panic, never a half-applied record: a line either
+// decodes completely or contributes nothing.
+func readJournal(path string) (*journalReplay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &journalReplay{jobs: map[string]*journalJob{}}, nil
+		}
+		return nil, fmt.Errorf("serve: read journal: %w", err)
+	}
+	return replayJournal(data), nil
+}
+
+// replayJournal folds raw WAL bytes; split out for the fuzz target.
+func replayJournal(data []byte) *journalReplay {
+	rp := &journalReplay{jobs: map[string]*journalJob{}}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal(line, &r); err != nil || r.V != journalVersion || r.Job == "" {
+			rp.torn++
+			continue
+		}
+		switch r.Rec {
+		case recSubmitted, recStarted, recCompleted, recFailed, recCancelled:
+		default:
+			rp.torn++
+			continue
+		}
+		rp.records++
+		jj := rp.jobs[r.Job]
+		if jj == nil {
+			jj = &journalJob{ID: r.Job, State: r.Rec}
+			rp.jobs[r.Job] = jj
+			rp.order = append(rp.order, r.Job)
+		}
+		switch r.Rec {
+		case recSubmitted:
+			jj.Tenant = r.Tenant
+			jj.SpecHash = r.SpecHash
+			jj.SetupHash = r.SetupHash
+			jj.Spec = r.Spec
+			if jj.State == "" {
+				jj.State = recSubmitted
+			}
+		case recStarted:
+			jj.Attempts++
+			if !jj.terminal() {
+				jj.State = recStarted
+			}
+		case recCompleted:
+			jj.State = recCompleted
+			jj.Cache = r.Cache
+		case recFailed:
+			jj.State = recFailed
+			jj.Error = r.Error
+		case recCancelled:
+			jj.State = recCancelled
+		}
+	}
+	return rp
+}
+
+// ---- journal-dump (operator tooling) ----
+
+// DumpJournal pretty-prints a WAL with per-tenant and per-state tallies: the
+// operator's view of what a data directory holds. path may be the journal
+// file itself or a data directory containing one. The output is
+// deterministic for a given journal (tenants sorted, no wall-clock values).
+func DumpJournal(path string, w *bytes.Buffer) error {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, JournalName)
+	}
+	rp, err := readJournal(path)
+	if err != nil {
+		return err
+	}
+	type tally struct {
+		submitted, running, completed, failed, cancelled, incomplete int
+	}
+	perTenant := map[string]*tally{}
+	var total tally
+	bump := func(t *tally, jj *journalJob) {
+		t.submitted++
+		switch jj.State {
+		case recCompleted:
+			t.completed++
+		case recFailed:
+			t.failed++
+		case recCancelled:
+			t.cancelled++
+		case recStarted:
+			t.running++
+			t.incomplete++
+		default:
+			t.incomplete++
+		}
+	}
+	for _, id := range rp.order {
+		jj := rp.jobs[id]
+		tenant := jj.Tenant
+		if tenant == "" {
+			tenant = "(unknown)"
+		}
+		tt := perTenant[tenant]
+		if tt == nil {
+			tt = &tally{}
+			perTenant[tenant] = tt
+		}
+		bump(tt, jj)
+		bump(&total, jj)
+	}
+	fmt.Fprintf(w, "journal %s: %d records (%d torn, skipped), %d jobs\n",
+		path, rp.records, rp.torn, len(rp.order))
+	tenants := make([]string, 0, len(perTenant))
+	for t := range perTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(w, "%-20s %9s %9s %9s %9s %9s %10s\n",
+		"tenant", "submitted", "running", "done", "failed", "cancelled", "incomplete")
+	for _, t := range tenants {
+		tt := perTenant[t]
+		fmt.Fprintf(w, "%-20s %9d %9d %9d %9d %9d %10d\n",
+			t, tt.submitted, tt.running, tt.completed, tt.failed, tt.cancelled, tt.incomplete)
+	}
+	fmt.Fprintf(w, "%-20s %9d %9d %9d %9d %9d %10d\n",
+		"TOTAL", total.submitted, total.running, total.completed, total.failed, total.cancelled, total.incomplete)
+	if total.incomplete > 0 {
+		fmt.Fprintf(w, "note: %d acknowledged jobs have no terminal record; a restart on this data dir re-enqueues them\n",
+			total.incomplete)
+	}
+	return nil
+}
+
+// nowNano is the journal's wall stamp helper.
+func nowNano(now func() time.Time) int64 {
+	if now == nil {
+		return 0
+	}
+	return now().UnixNano()
+}

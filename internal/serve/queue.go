@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrQueueFull is returned by push when the queue is at capacity; the HTTP
@@ -47,6 +48,24 @@ func (q *fairQueue) push(j *Job) error {
 	}
 	if q.size >= q.cap {
 		return ErrQueueFull
+	}
+	if _, ok := q.queues[j.Tenant]; !ok {
+		q.ring = append(q.ring, j.Tenant)
+	}
+	q.queues[j.Tenant] = append(q.queues[j.Tenant], j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// forcePush enqueues ignoring the capacity bound. Recovery uses it: every
+// journaled-but-incomplete job was already acknowledged, so capacity
+// backpressure no longer applies — refusing one here would lose an ack.
+func (q *fairQueue) forcePush(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
 	}
 	if _, ok := q.queues[j.Tenant]; !ok {
 		q.ring = append(q.ring, j.Tenant)
@@ -113,9 +132,44 @@ func (q *fairQueue) close() {
 	q.cond.Broadcast()
 }
 
+// kill stops intake AND discards every queued job — the in-process SIGKILL:
+// a dead process would not have drained its queue. Workers' next pop returns
+// ok=false immediately.
+func (q *fairQueue) kill() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.queues = make(map[string][]*Job)
+	q.ring = nil
+	q.size = 0
+	q.cond.Broadcast()
+}
+
 // depth returns the number of queued jobs.
 func (q *fairQueue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.size
+}
+
+// oldestWait returns how long the oldest queued job has been waiting (0 when
+// the queue is empty). Each tenant FIFO's head is that tenant's oldest job,
+// so the global oldest is the min over heads — the admission controller's
+// queue-age watermark reads this.
+func (q *fairQueue) oldestWait(now time.Time) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var oldest time.Time
+	for _, fifo := range q.queues {
+		if len(fifo) == 0 {
+			continue
+		}
+		if t := fifo[0].submittedTime(); oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
 }

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Per-tenant quotas: a token-bucket submit rate plus in-flight-job and
+// stored-bytes budgets, layered under the fair queue. Fair queueing bounds
+// how much one tenant can *delay* another once admitted; quotas bound how
+// much one tenant can *consume* at all. Enforcement is at admission — a
+// rejected submit costs the service nothing — and every rejection carries a
+// Retry-After computed from the bucket state, so well-behaved clients
+// converge to their budget instead of hammering.
+
+// Quota bounds one tenant. The zero value of any field disables that limit.
+type Quota struct {
+	// SubmitRate is the sustained submissions/second budget; SubmitBurst is
+	// the bucket size (0 with a nonzero rate defaults to max(1, rate)).
+	SubmitRate  float64
+	SubmitBurst int
+	// MaxInFlight bounds a tenant's queued+running jobs.
+	MaxInFlight int
+	// MaxStoredBytes bounds the disk bytes of spilled results a tenant's
+	// cache-miss jobs have produced. Over budget, submits that would run the
+	// engine (result-cache misses) are refused; cached reads still serve.
+	MaxStoredBytes int64
+}
+
+// unlimited reports whether the quota constrains anything.
+func (q Quota) unlimited() bool {
+	return q.SubmitRate <= 0 && q.MaxInFlight <= 0 && q.MaxStoredBytes <= 0
+}
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	tokens      float64   // current token-bucket fill
+	refilled    time.Time // last refill time
+	inFlight    int       // queued + running jobs
+	storedBytes int64     // disk bytes of spilled results
+}
+
+// quotas tracks every tenant against the configured budgets.
+type quotas struct {
+	mu      sync.Mutex
+	def     Quota
+	over    map[string]Quota // per-tenant overrides
+	tenants map[string]*tenantState
+}
+
+func newQuotas(def Quota, over map[string]Quota) *quotas {
+	return &quotas{def: def, over: over, tenants: make(map[string]*tenantState)}
+}
+
+func (qs *quotas) quotaFor(tenant string) Quota {
+	if q, ok := qs.over[tenant]; ok {
+		return q
+	}
+	return qs.def
+}
+
+func (qs *quotas) state(tenant string, now time.Time) *tenantState {
+	ts := qs.tenants[tenant]
+	if ts == nil {
+		q := qs.quotaFor(tenant)
+		ts = &tenantState{tokens: float64(burstOf(q)), refilled: now}
+		qs.tenants[tenant] = ts
+	}
+	return ts
+}
+
+func burstOf(q Quota) int {
+	if q.SubmitRate <= 0 {
+		return 0
+	}
+	if q.SubmitBurst > 0 {
+		return q.SubmitBurst
+	}
+	return int(math.Max(1, q.SubmitRate))
+}
+
+// admit checks a tenant's budgets and, when all pass, commits the
+// admission: one rate token consumed, in-flight incremented. wouldRun is
+// whether the job would miss the result cache (only such jobs can grow the
+// tenant's stored bytes). A nil return means admitted.
+func (qs *quotas) admit(tenant string, now time.Time, wouldRun bool) *AdmissionError {
+	q := qs.quotaFor(tenant)
+	if q.unlimited() {
+		qs.mu.Lock()
+		qs.state(tenant, now).inFlight++
+		qs.mu.Unlock()
+		return nil
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	ts := qs.state(tenant, now)
+	// Refill the bucket before judging it.
+	if q.SubmitRate > 0 {
+		dt := now.Sub(ts.refilled).Seconds()
+		if dt > 0 {
+			ts.tokens = math.Min(float64(burstOf(q)), ts.tokens+dt*q.SubmitRate)
+			ts.refilled = now
+		}
+		if ts.tokens < 1 {
+			wait := time.Duration((1 - ts.tokens) / q.SubmitRate * float64(time.Second))
+			return &AdmissionError{
+				Code:       CodeQuotaRate,
+				Tenant:     tenant,
+				RetryAfter: wait,
+				msg:        "tenant submit-rate budget exhausted",
+			}
+		}
+	}
+	if q.MaxInFlight > 0 && ts.inFlight >= q.MaxInFlight {
+		return &AdmissionError{
+			Code:       CodeQuotaInFlight,
+			Tenant:     tenant,
+			RetryAfter: time.Second,
+			msg:        "tenant in-flight job budget exhausted",
+		}
+	}
+	if q.MaxStoredBytes > 0 && wouldRun && ts.storedBytes >= q.MaxStoredBytes {
+		return &AdmissionError{
+			Code:       CodeQuotaBytes,
+			Tenant:     tenant,
+			RetryAfter: 5 * time.Second,
+			msg:        "tenant stored-bytes budget exhausted (cached reads still serve)",
+		}
+	}
+	// All checks passed: commit.
+	if q.SubmitRate > 0 {
+		ts.tokens--
+	}
+	ts.inFlight++
+	return nil
+}
+
+// release returns one in-flight slot (job reached a terminal state or its
+// admission was rolled back).
+func (qs *quotas) release(tenant string, now time.Time) {
+	qs.mu.Lock()
+	ts := qs.state(tenant, now)
+	if ts.inFlight > 0 {
+		ts.inFlight--
+	}
+	qs.mu.Unlock()
+}
+
+// addStored accrues spilled-result bytes against a tenant (also used by
+// recovery to rebuild the accounting from the disk store).
+func (qs *quotas) addStored(tenant string, bytes int64, now time.Time) {
+	if tenant == "" {
+		return
+	}
+	qs.mu.Lock()
+	qs.state(tenant, now).storedBytes += bytes
+	qs.mu.Unlock()
+}
+
+// storedBytesTotal sums every tenant's spilled bytes (a /metrics gauge).
+func (qs *quotas) storedBytesTotal() int64 {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	var n int64
+	for _, ts := range qs.tenants {
+		n += ts.storedBytes
+	}
+	return n
+}

@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nodeaware/stencil/internal/jobspec"
+)
+
+// fakeClock is a mutex-guarded manual clock for deterministic quota and
+// shedding tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func admissionCode(t *testing.T, err error) *AdmissionError {
+	t.Helper()
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an AdmissionError", err)
+	}
+	return ae
+}
+
+func TestQuotaRateTwoTenants(t *testing.T) {
+	// The over-budget tenant is throttled; the other tenant is untouched.
+	clock := newFakeClock()
+	s := NewServer(Config{Workers: -1, Quotas: map[string]Quota{
+		"greedy": {SubmitRate: 1, SubmitBurst: 2},
+	}})
+	s.now = clock.now
+
+	distinct := func(i int) *jobspec.Spec {
+		sp := tinySpec()
+		sp.Iters = 2 + i
+		return sp
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("greedy", distinct(i)); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err := s.Submit("greedy", distinct(2))
+	ae := admissionCode(t, err)
+	if ae.Code != CodeQuotaRate || ae.Tenant != "greedy" {
+		t.Fatalf("over-budget submit: %+v, want quota_rate for greedy", ae)
+	}
+	if ae.RetryAfter <= 0 || ae.RetryAfter > time.Second {
+		t.Errorf("retry-after %s, want (0s, 1s]", ae.RetryAfter)
+	}
+
+	// The unlimited tenant sails through while greedy is throttled.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit("modest", distinct(10+i)); err != nil {
+			t.Fatalf("modest tenant blocked by greedy's quota: %v", err)
+		}
+	}
+
+	// The bucket refills with time.
+	clock.advance(time.Second)
+	if _, err := s.Submit("greedy", distinct(3)); err != nil {
+		t.Fatalf("submit after refill: %v", err)
+	}
+}
+
+func TestQuotaInFlight(t *testing.T) {
+	s := NewServer(Config{Workers: -1, Quotas: map[string]Quota{
+		"capped": {MaxInFlight: 2},
+	}})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		sp := tinySpec()
+		sp.Iters = 2 + i
+		j, err := s.Submit("capped", sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	sp := tinySpec()
+	sp.Iters = 9
+	_, err := s.Submit("capped", sp)
+	if ae := admissionCode(t, err); ae.Code != CodeQuotaInFlight {
+		t.Fatalf("third submit: %+v, want quota_inflight", ae)
+	}
+	// A terminal job returns its slot: cancel one, submit again.
+	if _, ok, err := s.Cancel(ids[0]); err != nil || !ok {
+		t.Fatalf("cancel: ok=%t err=%v", ok, err)
+	}
+	if _, err := s.Submit("capped", sp); err != nil {
+		t.Fatalf("submit after cancel freed a slot: %v", err)
+	}
+}
+
+func TestQuotaStoredBytes(t *testing.T) {
+	clock := newFakeClock()
+	qs := newQuotas(Quota{}, map[string]Quota{"t": {MaxStoredBytes: 100}})
+	qs.addStored("t", 150, clock.now())
+	// Over budget: a job that would run (and store more) is refused...
+	ae := qs.admit("t", clock.now(), true)
+	if ae == nil || ae.Code != CodeQuotaBytes {
+		t.Fatalf("over-budget run admitted: %+v", ae)
+	}
+	// ...but a cached read (wouldRun=false) still serves.
+	if ae := qs.admit("t", clock.now(), false); ae != nil {
+		t.Fatalf("cached read refused: %+v", ae)
+	}
+}
+
+func TestDegradedMode(t *testing.T) {
+	s := NewServer(Config{Workers: -1, QueueDepth: 100, DegradeDepth: 1})
+	warm := tinySpec()
+	warm.Iters = 2
+	warmHash, err := warm.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pretend a previous run populated the result cache for the warm spec.
+	s.results.Put(warmHash, resultEntry{result: []byte("{}")}, 1)
+
+	cold := tinySpec()
+	cold.Iters = 3
+	if _, err := s.Submit("t", cold); err != nil { // depth 0: admitted
+		t.Fatal(err)
+	}
+	// Depth 1 >= DegradeDepth: a double cache miss is refused...
+	cold2 := tinySpec()
+	cold2.Iters = 4
+	_, err = s.Submit("t", cold2)
+	if ae := admissionCode(t, err); ae.Code != CodeDegraded {
+		t.Fatalf("cold submit in degraded mode: %+v, want degraded", ae)
+	}
+	// ...while a result-cache hit is still admitted.
+	if _, err := s.Submit("t", warm); err != nil {
+		t.Fatalf("warm submit refused in degraded mode: %v", err)
+	}
+}
+
+func TestShedDepthAndAge(t *testing.T) {
+	clock := newFakeClock()
+	s := NewServer(Config{Workers: -1, QueueDepth: 100, ShedDepth: 2, ShedAge: time.Minute})
+	s.now = clock.now
+	for i := 0; i < 2; i++ {
+		sp := tinySpec()
+		sp.Iters = 2 + i
+		if _, err := s.Submit("t", sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := tinySpec()
+	sp.Iters = 9
+	_, err := s.Submit("t", sp)
+	ae := admissionCode(t, err)
+	if ae.Code != CodeOverloaded || ae.QueueDepth != 2 {
+		t.Fatalf("depth shed: %+v, want overloaded at depth 2", ae)
+	}
+
+	// Age watermark: a fresh server with one stale queued job sheds too.
+	s2 := NewServer(Config{Workers: -1, QueueDepth: 100, ShedDepth: 50, ShedAge: time.Minute})
+	s2.now = clock.now
+	if _, err := s2.Submit("t", sp); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(2 * time.Minute)
+	sp2 := tinySpec()
+	sp2.Iters = 10
+	_, err = s2.Submit("t", sp2)
+	if ae := admissionCode(t, err); ae.Code != CodeOverloaded {
+		t.Fatalf("age shed: %+v, want overloaded", ae)
+	}
+}
+
+func TestRejectionHTTPSchema(t *testing.T) {
+	// Every 429 carries Retry-After and the structured JSON body the README
+	// documents.
+	s := NewServer(Config{Workers: -1, QueueDepth: 100, ShedDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, body := postSpec(t, ts, "t", tinySpec(), ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, body)
+	}
+	sp := tinySpec()
+	sp.Iters = 7
+	resp, body := postSpec(t, ts, "t", sp, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After header %q, want a positive integer", ra)
+	}
+	for _, want := range []string{`"code": "overloaded"`, `"tenant": "t"`, `"queue_depth": 1`, `"retry_after_s"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("429 body missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestDeadlinePreemptsMidRun(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	sp := tinySpec()
+	sp.Iters = 5000 // tens of seconds if run to completion
+	sp.DeadlineSeconds = 0.05
+	j, err := s.Submit("t", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Wait(); st != StateFailed {
+		t.Fatalf("deadline job ended %q, want failed", st)
+	}
+	st := j.status(false)
+	if !strings.Contains(st.Error, "deadline") {
+		t.Errorf("deadline job error %q", st.Error)
+	}
+	if st.Deadline == nil {
+		t.Error("status missing the deadline field")
+	}
+	// A preempted run's partial bytes must never be cached.
+	if s.results.Contains(j.Hash) {
+		t.Error("partial result of a deadline-preempted run was cached")
+	}
+}
+
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Drain()
+	// Pin the worker long enough for the deadline job's budget to expire
+	// while it is still queued.
+	pin := tinySpec()
+	pin.Iters = 200 // ~hundreds of ms, far beyond the 1ms deadline below
+	if _, err := s.Submit("t", pin); err != nil {
+		t.Fatal(err)
+	}
+	sp := tinySpec()
+	sp.Iters = 3
+	sp.DeadlineSeconds = 0.001
+	j, err := s.Submit("t", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Wait(); st != StateFailed {
+		t.Fatalf("expired-in-queue job ended %q, want failed", st)
+	}
+	if st := j.status(false); !strings.Contains(st.Error, "deadline") {
+		t.Errorf("expired-in-queue job error %q", st.Error)
+	}
+}
+
+func TestRetryAfterWorkerDeath(t *testing.T) {
+	s := NewServer(Config{Workers: 1, RetryBackoff: time.Millisecond})
+	defer s.Drain()
+	var calls atomic.Int32
+	s.runFn = func(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() bool, lap *lapClock) (*runOutcome, error) {
+		if calls.Add(1) <= 2 {
+			panic("injected worker death")
+		}
+		return runJob(spec, specHash, preset, preempt, lap)
+	}
+	j, err := s.Submit("t", tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Wait(); st != StateDone {
+		t.Fatalf("retried job ended %q: %s", st, j.status(false).Error)
+	}
+	if st := j.status(false); st.Attempts != 3 {
+		t.Errorf("attempts %d, want 3 (two deaths + success)", st.Attempts)
+	}
+}
+
+func TestRetryExhaustionFails(t *testing.T) {
+	s := NewServer(Config{Workers: 1, RetryLimit: 2, RetryBackoff: time.Millisecond})
+	defer s.Drain()
+	s.runFn = func(spec *jobspec.Spec, specHash string, preset [][]int, preempt func() bool, lap *lapClock) (*runOutcome, error) {
+		panic("always dies")
+	}
+	j, err := s.Submit("t", tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Wait(); st != StateFailed {
+		t.Fatalf("always-dying job ended %q, want failed", st)
+	}
+	st := j.status(false)
+	if !strings.Contains(st.Error, "worker died") {
+		t.Errorf("error %q, want a worker-death message", st.Error)
+	}
+	if st.Attempts != 3 { // initial + RetryLimit retries
+		t.Errorf("attempts %d, want 3", st.Attempts)
+	}
+}
+
+func TestCostAwareLRU(t *testing.T) {
+	c := NewCache[string](2 * cacheShards) // 2 entries per shard
+	// Find three keys in one shard so the eviction scan is deterministic.
+	keys := sameShardKeys(c, 3)
+	c.Put(keys[0], "expensive", 100) // oldest, high cost
+	c.Put(keys[1], "cheap", 1)       // newer, low cost
+	c.Put(keys[2], "new", 10)        // forces an eviction
+	// Cost-aware: the cheap entry dies even though the expensive one is
+	// colder.
+	if !c.Contains(keys[0]) {
+		t.Error("expensive cold entry evicted; want the cheap one gone")
+	}
+	if c.Contains(keys[1]) {
+		t.Error("cheap entry survived eviction")
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Errorf("evictions %d, want 1", ev)
+	}
+	// Hit/miss counters.
+	c.Get(keys[0])
+	c.Get(keys[1])
+	h, m, _ := c.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	// Contains must not touch the counters (admission peeks stay invisible).
+	c.Contains(keys[0])
+	if h2, m2, _ := c.Stats(); h2 != h || m2 != m {
+		t.Error("Contains changed the hit/miss counters")
+	}
+}
+
+// sameShardKeys generates n distinct keys hashing to one shard.
+func sameShardKeys[V any](c *Cache[V], n int) []string {
+	target := c.shard("seed-0")
+	keys := []string{"seed-0"}
+	for i := 1; len(keys) < n; i++ {
+		k := fmt.Sprintf("seed-%d", i)
+		if c.shard(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -484,7 +485,7 @@ func TestDrain(t *testing.T) {
 			t.Errorf("job %s state %q after drain", j.ID, st)
 		}
 	}
-	if _, err := s.Submit("t", tinySpec()); err != ErrDraining {
+	if _, err := s.Submit("t", tinySpec()); !errors.Is(err, ErrDraining) {
 		t.Errorf("submit after drain: %v, want ErrDraining", err)
 	}
 	resp, _ := get(t, ts, "/healthz")
