@@ -1,0 +1,520 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/nodeaware/stencil/internal/jobspec"
+	"github.com/nodeaware/stencil/internal/serve"
+)
+
+// The HA smoke: the CI gate for the replication and failover layer.
+//
+// Phase 1 (deterministic, byte-gated): a durable primary warms a few
+// completed jobs (so the follower must anti-entropy-repair artifacts that
+// predate its connection), then a follower mirrors it over real HTTP. With
+// replication quiesced at lag zero, a batch of acknowledged-but-unstarted
+// jobs is loaded, lag drains to zero again, and the primary is killed
+// in-process with its listener torn down — connection refused, exactly what
+// a client sees after a node dies. A torn partial frame is appended to the
+// follower's mirror (a crash can tear the last line on either side). The
+// promoted follower must re-enqueue every acknowledged job, run each to
+// completion, and serve result bytes identical to an uncrashed in-memory
+// server's — verified both through the promoted API and through the
+// failover client, which walks from the dead primary's URL to the standby.
+// Everything in this section is a pure function of the spec set, so it is
+// compared byte-for-byte against the committed reference.
+//
+// Phase 2 (informational + ratio-gated): the crash-smoke load run on a
+// journaling server alone and on the same server with a live follower
+// attached, timed. Only the ratio is gated — streaming the journal to a
+// standby must cost at most 1.5x of journaling alone.
+
+const (
+	haSchema  = "stencilserve-ha/1"
+	haWarm    = 4  // completed jobs before the follower joins (anti-entropy seed)
+	haLoad    = 24 // distinct specs in the acknowledged-but-unstarted batch
+	haPerSpec = 13 // submissions per distinct spec: 24*13 = 312 jobs in flight
+	haTenants = 4
+)
+
+// haSpec returns distinct spec i; warm jobs use [0,haWarm), the load batch
+// uses [haWarm, haWarm+haLoad) — disjoint, so no load job can be served from
+// a warm job's result cache entry before the kill.
+func haSpec(i int) *jobspec.Spec {
+	sp := tinySpec()
+	sp.Iters = 2 + i
+	return sp
+}
+
+// haSpecDigest is one distinct spec's deterministic identity.
+type haSpecDigest struct {
+	SpecHash     string `json:"spec_hash"`
+	ResultSHA256 string `json:"result_sha256"`
+}
+
+// haDeterministic is the byte-gated section of the report.
+type haDeterministic struct {
+	WarmJobs             int  `json:"warm_jobs"`
+	DistinctSpecs        int  `json:"distinct_specs"`
+	JobsSubmitted        int  `json:"jobs_submitted"`
+	InFlightAtKill       int  `json:"in_flight_at_kill"`
+	TornRecords          int  `json:"torn_records"`
+	LagZeroAtQuiesce     bool `json:"lag_zero_at_quiesce"`
+	AntiEntropyRepaired  bool `json:"anti_entropy_repaired"`
+	CompletedAtPromotion int  `json:"completed_at_promotion"`
+	Reenqueued           int  `json:"reenqueued"`
+	RecoveredJobs        int  `json:"recovered_jobs"`
+	LostJobs             int  `json:"lost_jobs"`
+	AllRecoveredDone     bool `json:"all_recovered_done"`
+	ByteIdentical        bool `json:"byte_identical"`
+	FailoverClientOK     bool `json:"failover_client_ok"`
+
+	Specs []haSpecDigest `json:"specs"`
+}
+
+// haOverhead is the host-dependent section; only the ratio is gated.
+type haOverhead struct {
+	Jobs                 int     `json:"jobs"`
+	Concurrency          int     `json:"concurrency"`
+	Workers              int     `json:"workers"`
+	DurableJobsPerSec    float64 `json:"durable_jobs_per_sec"`
+	ReplicatedJobsPerSec float64 `json:"replicated_jobs_per_sec"`
+	OverheadRatio        float64 `json:"overhead_ratio"` // durable rate / replicated rate
+	RecFramesStreamed    int64   `json:"rec_frames_streamed"`
+	ArtifactFrames       int64   `json:"artifact_frames"`
+}
+
+type haReport struct {
+	Schema        string          `json:"schema"`
+	Deterministic haDeterministic `json:"deterministic"`
+	Overhead      haOverhead      `json:"replication_overhead"`
+}
+
+func runHASmoke(cfg serve.Config, refPath string, report, log io.Writer) error {
+	rep := haReport{Schema: haSchema}
+
+	det, err := haDeterministicPhase(log)
+	if err != nil {
+		return err
+	}
+	rep.Deterministic = *det
+
+	oh, err := haOverheadPhase(cfg, log)
+	if err != nil {
+		return err
+	}
+	rep.Overhead = *oh
+
+	enc := json.NewEncoder(report)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if det.LostJobs > 0 || !det.AllRecoveredDone || !det.ByteIdentical || !det.FailoverClientOK {
+		return fmt.Errorf("hasmoke: failover lost or corrupted acknowledged jobs (lost=%d done=%t identical=%t client=%t)",
+			det.LostJobs, det.AllRecoveredDone, det.ByteIdentical, det.FailoverClientOK)
+	}
+	if !det.LagZeroAtQuiesce {
+		return fmt.Errorf("hasmoke: replication lag did not reach zero at quiesce")
+	}
+	if refPath != "" {
+		if err := haGateAgainstRef(refPath, &rep, log); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// haWaitFor polls cond for up to d.
+func haWaitFor(d time.Duration, what string, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("hasmoke: timed out waiting for %s", what)
+}
+
+// haDeterministicPhase runs the replicate/kill/promote cycle and builds the
+// byte-gated section.
+func haDeterministicPhase(log io.Writer) (*haDeterministic, error) {
+	dirA, err := os.MkdirTemp("", "stencilserve-ha-primary-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "stencilserve-ha-follower-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dirB)
+
+	workers := runtime.GOMAXPROCS(0)
+	det := &haDeterministic{
+		WarmJobs:      haWarm,
+		DistinctSpecs: haLoad,
+		JobsSubmitted: haLoad * haPerSpec,
+	}
+
+	// Warm pass: complete a few jobs so their artifacts exist on disk before
+	// any follower connects — the follower must fetch them by manifest diff
+	// (anti-entropy), not from the live stream.
+	s0, err := serve.Open(serve.Config{Workers: workers, DataDir: dirA})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < haWarm; i++ {
+		j, err := s0.Submit("warm", haSpec(i))
+		if err != nil {
+			return nil, err
+		}
+		if st := j.Wait(); st != serve.StateDone {
+			return nil, fmt.Errorf("hasmoke warm job %d ended %s", i, st)
+		}
+	}
+	s0.Drain()
+
+	// Reopen with no workers, so the load batch below stays acknowledged but
+	// unstarted — the kill point is exact, not racy — and put the primary on
+	// a real listener for the follower and the failover client.
+	prim, err := serve.Open(serve.Config{
+		Workers: -1, DataDir: dirA,
+		QueueDepth:        det.JobsSubmitted + 16,
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: prim.Handler()}
+	go hs.Serve(ln)
+	primaryURL := "http://" + ln.Addr().String()
+
+	fol, err := serve.OpenFollower(serve.FollowerConfig{
+		DataDir:      dirB,
+		Primary:      primaryURL,
+		Serve:        serve.Config{Workers: workers, QueueDepth: det.JobsSubmitted + 16},
+		PollInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	caughtUp := func() bool {
+		js, st := prim.JournalStats(), fol.Stats()
+		return st.Connected && js.Size > 0 && js.SyncedBytes == js.Size && st.Applied == js.Size
+	}
+	if err := haWaitFor(30*time.Second, "follower to mirror the warm journal", caughtUp); err != nil {
+		return nil, err
+	}
+	det.AntiEntropyRepaired = fol.Stats().Repairs > 0
+
+	// The load batch: every submission acknowledged (journal fsync'd) and
+	// queued behind the zero-worker pool.
+	var ids []string
+	for i := 0; i < det.JobsSubmitted; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i%haTenants)
+		j, err := prim.Submit(tenant, haSpec(haWarm+i%haLoad))
+		if err != nil {
+			return nil, fmt.Errorf("hasmoke submit %d: %w", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	det.InFlightAtKill = len(ids)
+
+	// Quiesce: with nothing left to write, replication lag must drain to
+	// exactly zero — the stream plus the lazy journal sync leave no tail.
+	if err := haWaitFor(30*time.Second, "replication lag to reach zero", caughtUp); err != nil {
+		return nil, err
+	}
+	det.LagZeroAtQuiesce = true
+	fmt.Fprintf(log, "hasmoke: follower at lag 0 with %d jobs acknowledged; killing primary\n", len(ids))
+
+	// The failure: in-process SIGKILL, listener torn down. From here the
+	// primary's URL refuses connections.
+	prim.Kill()
+	hs.Close()
+	fol.Stop()
+
+	// A real crash can tear the follower's last mirrored line mid-write.
+	jf, err := os.OpenFile(filepath.Join(dirB, serve.JournalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	jf.WriteString(`{"v":1,"rec":"comple`)
+	jf.Close()
+	det.TornRecords = 1
+
+	// Deterministic failover: promote the follower and serve from the same
+	// handler (the promoted API takes over the follower's address).
+	promoted, err := fol.Promote()
+	if err != nil {
+		return nil, err
+	}
+	rec := promoted.Recovery()
+	det.CompletedAtPromotion = rec.Completed
+	det.Reenqueued = rec.Reenqueued
+
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsB := &http.Server{Handler: fol.Handler()}
+	go hsB.Serve(lnB)
+	defer hsB.Close()
+	standbyURL := "http://" + lnB.Addr().String()
+
+	// Every acknowledged job must complete on the standby.
+	det.AllRecoveredDone = true
+	recovered := map[string][]byte{} // spec hash -> result bytes
+	for _, id := range ids {
+		j, ok := promoted.Job(id)
+		if !ok {
+			det.LostJobs++
+			det.AllRecoveredDone = false
+			continue
+		}
+		det.RecoveredJobs++
+		if st := j.Wait(); st != serve.StateDone {
+			det.AllRecoveredDone = false
+			continue
+		}
+		res, _ := j.Result()
+		recovered[j.Hash] = res
+	}
+
+	// Uncrashed reference: warm + load specs on a plain in-memory server
+	// must produce byte-identical results.
+	ref := serve.NewServer(serve.Config{Workers: workers})
+	det.ByteIdentical = true
+	det.FailoverClientOK = true
+	for i := 0; i < haWarm+haLoad; i++ {
+		j, err := ref.Submit("ref", haSpec(i))
+		if err != nil {
+			return nil, err
+		}
+		if st := j.Wait(); st != serve.StateDone {
+			return nil, fmt.Errorf("hasmoke reference job ended %s", st)
+		}
+		res, _ := j.Result()
+		if i >= haWarm && !bytes.Equal(res, recovered[j.Hash]) {
+			det.ByteIdentical = false
+		}
+		sum := sha256.Sum256(res)
+		det.Specs = append(det.Specs, haSpecDigest{
+			SpecHash:     j.Hash,
+			ResultSHA256: hex.EncodeToString(sum[:]),
+		})
+
+		// The failover client contract: a client still pointed at the dead
+		// primary walks its target list and lands on the standby, which
+		// serves the identical bytes (warm specs from mirrored artifacts,
+		// load specs from the re-run).
+		st, err := submitFailover([]string{primaryURL, standbyURL}, "client", haSpec(i))
+		if err != nil {
+			return nil, fmt.Errorf("hasmoke failover client spec %d: %w", i, err)
+		}
+		body, err := fetch(standbyURL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			return nil, fmt.Errorf("hasmoke failover client result %d: %w", i, err)
+		}
+		if st.State != "done" || !bytes.Equal(body, res) {
+			det.FailoverClientOK = false
+		}
+	}
+	ref.Drain()
+	promoted.Drain()
+	sort.Slice(det.Specs, func(a, b int) bool { return det.Specs[a].SpecHash < det.Specs[b].SpecHash })
+	fmt.Fprintf(log, "hasmoke: standby recovered %d/%d jobs, byte_identical=%t, failover_client_ok=%t\n",
+		det.RecoveredJobs, det.JobsSubmitted, det.ByteIdentical, det.FailoverClientOK)
+	return det, nil
+}
+
+// haOverheadPhase times the crash-smoke load on a journaling server alone
+// and on the same server with a live follower attached, and reports the
+// throughput ratio.
+func haOverheadPhase(base serve.Config, log io.Writer) (*haOverhead, error) {
+	workers := base.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	oh := &haOverhead{Jobs: overheadJobs, Concurrency: overheadConc, Workers: workers}
+
+	specs := make([]*jobspec.Spec, overheadDistinct)
+	for i := range specs {
+		specs[i] = crashSpec(i)
+	}
+	run := func(withFollower bool) (float64, serve.FollowerStats, error) {
+		var fst serve.FollowerStats
+		dir, err := os.MkdirTemp("", "stencilserve-ha-overhead-")
+		if err != nil {
+			return 0, fst, err
+		}
+		defer os.RemoveAll(dir)
+		s, err := serve.Open(serve.Config{
+			Workers: workers, DataDir: dir, QueueDepth: overheadJobs + 64,
+		})
+		if err != nil {
+			return 0, fst, err
+		}
+		var fol *serve.Follower
+		var hs *http.Server
+		if withFollower {
+			fdir, err := os.MkdirTemp("", "stencilserve-ha-overhead-fol-")
+			if err != nil {
+				return 0, fst, err
+			}
+			defer os.RemoveAll(fdir)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return 0, fst, err
+			}
+			hs = &http.Server{Handler: s.Handler()}
+			go hs.Serve(ln)
+			fol, err = serve.OpenFollower(serve.FollowerConfig{
+				DataDir: fdir,
+				Primary: "http://" + ln.Addr().String(),
+			})
+			if err != nil {
+				hs.Close()
+				return 0, fst, err
+			}
+		}
+
+		idx := make(chan int)
+		submitted := make([]*serve.Job, overheadJobs)
+		var wg sync.WaitGroup
+		var firstErr error
+		var errMu sync.Mutex
+		start := time.Now()
+		for w := 0; w < overheadConc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					sp := *specs[i%len(specs)]
+					j, err := s.Submit(fmt.Sprintf("tenant-%d", i%7), &sp)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						continue
+					}
+					submitted[i] = j
+				}
+			}()
+		}
+		for i := 0; i < overheadJobs; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		for _, j := range submitted {
+			if j == nil {
+				continue
+			}
+			if st := j.Wait(); st != serve.StateDone {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("job %s ended %s", j.ID, st)
+				}
+				errMu.Unlock()
+			}
+		}
+		wall := time.Since(start).Seconds()
+		if fol != nil {
+			fst = fol.Stats()
+			fol.Stop()
+			hs.Close()
+		}
+		s.Drain()
+		if firstErr != nil {
+			return 0, fst, firstErr
+		}
+		return float64(overheadJobs) / wall, fst, nil
+	}
+
+	// Best-of-N per mode, alternating so host noise hits both alike; see the
+	// crash smoke's overhead phase for the reasoning.
+	var durRate, repRate float64
+	var repStats serve.FollowerStats
+	for t := 0; t < overheadTrials; t++ {
+		rate, _, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		if rate > durRate {
+			durRate = rate
+		}
+		rate, fst, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		if rate > repRate {
+			repRate, repStats = rate, fst
+		}
+	}
+
+	oh.DurableJobsPerSec = durRate
+	oh.ReplicatedJobsPerSec = repRate
+	oh.OverheadRatio = durRate / repRate
+	oh.RecFramesStreamed = repStats.RecFrames
+	oh.ArtifactFrames = repStats.ArtFrames
+	fmt.Fprintf(log, "hasmoke: %.0f jobs/s journaling, %.0f jobs/s with a live follower (ratio %.2fx, %d rec frames streamed)\n",
+		durRate, repRate, oh.OverheadRatio, repStats.RecFrames)
+	return oh, nil
+}
+
+// haGateAgainstRef enforces the CI contract: the deterministic section must
+// be byte-identical to the committed reference, and replication overhead
+// must stay within the budget.
+func haGateAgainstRef(refPath string, got *haReport, log io.Writer) error {
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		return fmt.Errorf("hasmoke ref: %w", err)
+	}
+	var ref haReport
+	if err := json.Unmarshal(refBytes, &ref); err != nil {
+		return fmt.Errorf("hasmoke ref decode: %w", err)
+	}
+	want, err := json.MarshalIndent(ref.Deterministic, "", "  ")
+	if err != nil {
+		return err
+	}
+	have, err := json.MarshalIndent(got.Deterministic, "", "  ")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, have) {
+		return fmt.Errorf("hasmoke: deterministic section diverged from %s:\nwant:\n%s\ngot:\n%s",
+			refPath, want, have)
+	}
+	if got.Overhead.OverheadRatio > maxOverheadRat {
+		return fmt.Errorf("hasmoke: replication overhead %.2fx exceeds the %.1fx budget",
+			got.Overhead.OverheadRatio, maxOverheadRat)
+	}
+	fmt.Fprintf(log, "hasmoke: deterministic section matches %s byte-for-byte; overhead %.2fx within %.1fx\n",
+		refPath, got.Overhead.OverheadRatio, maxOverheadRat)
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCrashRestartChaos(t *testing.T) {
@@ -346,13 +347,27 @@ func TestJournalOverheadCounters(t *testing.T) {
 	if st.Records < 8*2 { // submitted + terminal per job at minimum
 		t.Errorf("journal records %d, want >= 16", st.Records)
 	}
-	// Group commit: fsyncs must not exceed durable appends (one per submit
-	// at worst, fewer when submits batch behind a leader).
-	if st.Syncs > 8+1 {
-		t.Errorf("group commits %d for 8 submits", st.Syncs)
+	// Group commit: never more fsyncs than records — each commit covers at
+	// least one new record, whether forced by a durable submit ack or the
+	// lazy drain that keeps the replicated prefix advancing.
+	if st.Syncs > st.Records {
+		t.Errorf("group commits %d exceed %d records", st.Syncs, st.Records)
 	}
 	if st.Syncs < 1 {
 		t.Error("no fsync recorded for durable submits")
+	}
+	// At quiesce the lazy drain must catch the fsync'd prefix up to the full
+	// file — this is what lets a follower's replication lag reach zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = s.journal.stats()
+		if st.SyncedBytes == st.Size {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never quiesced: %d of %d bytes synced", st.SyncedBytes, st.Size)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	s.Drain()
 

@@ -1,0 +1,834 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The standby side of replication.
+//
+// A Follower owns a data directory with exactly the same layout as a
+// primary's and one goal: keep that directory a byte-identical (journal)
+// and content-identical (artifact) mirror of the primary, continuously. It
+// tails the primary's frame stream, appends each shipped journal line at
+// its stated offset, folds it through the same journalReplay state machine
+// boot recovery uses, and mirrors spilled artifacts. Falling behind or
+// joining late is repaired by anti-entropy: a snapshot fetch (journal
+// prefix + artifact manifest) re-bases the local state, then the tail
+// resumes; a periodic manifest diff backfills artifacts the stream missed.
+//
+// Frame application is strictly idempotent and gap-free: a frame whose
+// offset is below the applied watermark is a duplicate (dropped, counted),
+// above it is a gap (the connection is abandoned and re-opened from the
+// watermark), exactly at it is appended. Torn or garbage frames count and
+// change nothing. The follower's journal therefore only ever grows by
+// whole lines the primary fsync'd, in order — which reduces promotion to
+// the one code path this package already trusts with durability: Promote
+// closes the tail and runs serve.Open on the follower's own DataDir, so
+// acknowledged-but-unfinished jobs are re-enqueued exactly as crash
+// recovery re-enqueues them after a SIGKILL.
+//
+// What survives failover is precisely what would survive the primary
+// restarting from its own disk at the last shipped offset: every job whose
+// submitted record reached the follower. The primary acks after its local
+// fsync, not after shipping (replication is asynchronous), so records
+// fsync'd in the instant before the primary died may exist only on the
+// primary's disk; they are recovered if that disk ever comes back, and the
+// replication-lag gauge is the operator's live bound on that window.
+
+// FollowerConfig shapes a Follower.
+type FollowerConfig struct {
+	// DataDir is the follower's own data directory (journal mirror +
+	// artifact store). Required.
+	DataDir string
+	// Primary is the primary's base URL (e.g. "http://127.0.0.1:8080").
+	// Required.
+	Primary string
+
+	// Serve configures the server started at promotion; its DataDir and
+	// lease fields are overridden with the follower's own.
+	Serve Config
+
+	// LagBound is the replication lag (bytes of journal not yet applied)
+	// up to which /readyz reports ready; 0 defaults to 1 MiB.
+	LagBound int64
+	// PollInterval is the reconnect backoff after a stream error; 0
+	// defaults to 100ms.
+	PollInterval time.Duration
+	// HeartbeatTimeout is how long the primary may stay silent before the
+	// follower considers it dead (the auto-promotion trigger); 0 defaults
+	// to 3s.
+	HeartbeatTimeout time.Duration
+
+	// PromoteOnLeaseLoss enables automatic promotion: when the primary has
+	// been silent past HeartbeatTimeout AND the lease (if configured) is
+	// free, expired, or stealable, the follower promotes itself.
+	PromoteOnLeaseLoss bool
+	// LeasePath and LeaseTTL name the shared lease file; empty disables
+	// lease arbitration (explicit /v1/promote only, or silence-only
+	// auto-promotion).
+	LeasePath string
+	LeaseTTL  time.Duration
+	// ID is this replica's lease holder name; empty defaults to
+	// "follower".
+	ID string
+
+	// Logf receives operational messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStats is the observable replication state.
+type FollowerStats struct {
+	Applied       int64 `json:"applied_bytes"`        // journal bytes applied locally
+	PrimarySynced int64 `json:"primary_synced_bytes"` // primary's last-reported synced offset
+	LagBytes      int64 `json:"lag_bytes"`            // max(0, PrimarySynced-Applied)
+	Epoch         int64 `json:"epoch"`
+	Connected     bool  `json:"connected"`
+	RecFrames     int64 `json:"rec_frames"`
+	DupFrames     int64 `json:"dup_frames"`
+	GapFrames     int64 `json:"gap_frames"`
+	TornFrames    int64 `json:"torn_frames"`
+	ArtFrames     int64 `json:"artifact_frames"`
+	Repairs       int64 `json:"anti_entropy_repairs"`
+	Heartbeats    int64 `json:"heartbeats"`
+	Reconnects    int64 `json:"reconnects"`
+	Snapshots     int64 `json:"snapshots"`
+	JobsFolded    int   `json:"jobs_folded"`
+	TornRecords   int   `json:"torn_records"` // undecodable journal lines in the fold
+}
+
+// Follower tails a primary into a local data directory and can promote
+// itself into a Server over that directory.
+type Follower struct {
+	cfg    FollowerConfig
+	client *http.Client
+	lease  *lease
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// mu guards every field below. The run loop is the only mutator of
+	// replication state; other goroutines (Stats, readyz, Promote) read.
+	mu            sync.Mutex
+	jf            *os.File // local journal, append-only
+	store         *store
+	fold          *journalReplay
+	applied       int64
+	primarySynced int64
+	epoch         int64
+	connected     bool
+	lastHeard     time.Time
+	stats         FollowerStats // counter fields only; gauges derived on read
+
+	promoted        *Server
+	promotedHandler http.Handler
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// OpenFollower loads (or creates) the local mirror state and starts the
+// replication loop.
+func OpenFollower(cfg FollowerConfig) (*Follower, error) {
+	f, err := newFollowerCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Primary == "" {
+		return nil, errors.New("serve: follower needs a primary URL")
+	}
+	go f.loop()
+	return f, nil
+}
+
+// newFollowerCore builds a Follower's local state without starting the
+// network loop — shared by OpenFollower and the frame-decode fuzz target,
+// which feeds ingestFrame directly.
+func newFollowerCore(cfg FollowerConfig) (*Follower, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: follower needs a DataDir")
+	}
+	if cfg.LagBound <= 0 {
+		cfg.LagBound = 1 << 20
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * time.Second
+	}
+	st, err := newStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	jp := filepath.Join(cfg.DataDir, JournalName)
+	if err := truncateTornTail(jp); err != nil {
+		return nil, fmt.Errorf("serve: follower trim journal: %w", err)
+	}
+	data, err := os.ReadFile(jp)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: follower read journal: %w", err)
+	}
+	jf, err := os.OpenFile(jp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: follower open journal: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{
+		cfg:       cfg,
+		client:    &http.Client{},
+		ctx:       ctx,
+		cancel:    cancel,
+		jf:        jf,
+		store:     st,
+		fold:      replayJournal(data),
+		applied:   int64(len(data)),
+		epoch:     readEpochFile(jp),
+		lastHeard: time.Now(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if cfg.LeasePath != "" {
+		f.lease = newLease(cfg.LeasePath, cfg.LeaseTTL, time.Now)
+	}
+	return f, nil
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+func (f *Follower) id() string {
+	if f.cfg.ID != "" {
+		return f.cfg.ID
+	}
+	return "follower"
+}
+
+// loop is the replication driver: stream, reconnect, and (when configured)
+// watch for the primary's death.
+func (f *Follower) loop() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		err := f.syncOnce()
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if f.shouldAutoPromote() {
+			f.logf("follower: primary silent > %s and lease available; promoting", f.cfg.HeartbeatTimeout)
+			if _, perr := f.doPromote(); perr != nil {
+				// Lost the promotion race (or the lease): stay a follower
+				// and reset the silence clock so we do not spin.
+				f.logf("follower: auto-promotion refused: %v", perr)
+				f.mu.Lock()
+				f.lastHeard = time.Now()
+				f.mu.Unlock()
+			} else {
+				return
+			}
+		}
+		if err != nil {
+			f.mu.Lock()
+			f.stats.Reconnects++
+			f.mu.Unlock()
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(f.cfg.PollInterval):
+			}
+		}
+	}
+}
+
+// shouldAutoPromote: silence past the heartbeat timeout, and the lease (if
+// any) is not held by a live peer other than us.
+func (f *Follower) shouldAutoPromote() bool {
+	if !f.cfg.PromoteOnLeaseLoss {
+		return false
+	}
+	f.mu.Lock()
+	silent := time.Since(f.lastHeard) > f.cfg.HeartbeatTimeout
+	promoted := f.promoted != nil
+	f.mu.Unlock()
+	if !silent || promoted {
+		return false
+	}
+	if f.lease != nil {
+		if rec, ok := f.lease.read(); ok && rec.Holder != f.id() && !f.lease.expired(rec) {
+			return false
+		}
+	}
+	return true
+}
+
+// errResync asks the loop to fetch a snapshot before streaming again.
+var errResync = errors.New("serve: follower must resync from snapshot")
+
+// errStreamGap reports a frame past the applied watermark (frames lost in
+// flight); the stream is re-opened from the watermark.
+var errStreamGap = errors.New("serve: replication stream gap")
+
+// syncOnce opens the stream at the applied watermark and ingests frames
+// until the connection ends. A 409 re-bases through a snapshot first.
+func (f *Follower) syncOnce() error {
+	f.mu.Lock()
+	from, epoch := f.applied, f.epoch
+	f.mu.Unlock()
+	url := fmt.Sprintf("%s/v1/replicate/stream?from=%d&epoch=%d", f.cfg.Primary, from, epoch)
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return f.resync()
+	default:
+		return fmt.Errorf("serve: replication stream: HTTP %d", resp.StatusCode)
+	}
+
+	// Connected: backfill artifacts the stream will not re-ship (spilled
+	// while we were away), then ingest the tail. Anti-entropy failure is
+	// not fatal to the stream — artifacts are an optimization.
+	if err := f.antiEntropy(); err != nil {
+		if errors.Is(err, errResync) {
+			return f.resync()
+		}
+		f.logf("follower: anti-entropy: %v", err)
+	}
+	f.mu.Lock()
+	f.connected = true
+	f.lastHeard = time.Now()
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.connected = false
+		f.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(resp.Body, 1<<20)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			if ferr := f.ingestFrame(line); ferr != nil {
+				if errors.Is(ferr, errResync) {
+					return f.resync()
+				}
+				return ferr
+			}
+		} else if len(line) > 0 {
+			// Connection cut mid-frame: a torn frame, by construction
+			// harmless — nothing before its newline was applied.
+			f.mu.Lock()
+			f.stats.TornFrames++
+			f.mu.Unlock()
+		}
+		if rerr != nil {
+			return rerr
+		}
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+	}
+}
+
+// ingestFrame applies one stream line. Malformed input of any shape counts
+// and changes nothing; only the errors that require a new connection
+// (epoch change, gap, local write failure) propagate.
+func (f *Follower) ingestFrame(line []byte) error {
+	var fr repFrame
+	if json.Unmarshal(line, &fr) != nil || fr.V != frameVersion {
+		f.mu.Lock()
+		f.stats.TornFrames++
+		f.mu.Unlock()
+		return nil
+	}
+	switch fr.T {
+	case frameHB:
+		f.mu.Lock()
+		f.stats.Heartbeats++
+		f.lastHeard = time.Now()
+		if fr.Synced > f.primarySynced {
+			f.primarySynced = fr.Synced
+		}
+		mismatch := fr.Epoch != f.epoch
+		f.mu.Unlock()
+		if mismatch {
+			return errResync
+		}
+		return nil
+	case frameRec:
+		if fr.Epoch != f.epoch {
+			return errResync
+		}
+		var rec []byte
+		switch {
+		case fr.RecB64 != "":
+			b, err := base64.StdEncoding.DecodeString(fr.RecB64)
+			if err != nil {
+				f.mu.Lock()
+				f.stats.TornFrames++
+				f.mu.Unlock()
+				return nil
+			}
+			rec = b
+		case len(fr.Rec) > 0:
+			rec = fr.Rec
+		default:
+			f.mu.Lock()
+			f.stats.TornFrames++
+			f.mu.Unlock()
+			return nil
+		}
+		f.mu.Lock()
+		if fr.Off < f.applied {
+			f.stats.DupFrames++
+			f.lastHeard = time.Now()
+			f.mu.Unlock()
+			return nil
+		}
+		if fr.Off > f.applied {
+			f.stats.GapFrames++
+			f.mu.Unlock()
+			return errStreamGap
+		}
+		f.mu.Unlock()
+		// Exactly at the watermark: append the line verbatim, then fold it.
+		// The journal is bytes first, state second — identical to how the
+		// primary's own recovery treats its file.
+		buf := make([]byte, 0, len(rec)+1)
+		buf = append(buf, rec...)
+		buf = append(buf, '\n')
+		if _, err := f.jf.Write(buf); err != nil {
+			return fmt.Errorf("serve: follower journal append: %w", err)
+		}
+		f.mu.Lock()
+		f.fold.applyLine(rec)
+		f.applied += int64(len(buf))
+		if fr.Synced > f.primarySynced {
+			f.primarySynced = fr.Synced
+		}
+		f.stats.RecFrames++
+		f.lastHeard = time.Now()
+		f.mu.Unlock()
+		return nil
+	case frameArt:
+		if fr.B64 != "" {
+			// Legacy inline payload.
+			data, err := base64.StdEncoding.DecodeString(fr.B64)
+			if err != nil || f.store.putRawArtifact(fr.Kind, fr.Hash, data) != nil {
+				f.mu.Lock()
+				f.stats.TornFrames++
+				f.mu.Unlock()
+				return nil
+			}
+		} else {
+			// Notification only: pull the bytes raw, out of band. A failed
+			// fetch is not torn — the primary may have died or evicted the
+			// entry — and the next anti-entropy diff repairs it.
+			if _, err := f.fetchArtifact(ArtifactRef{Kind: fr.Kind, Hash: fr.Hash, Size: fr.Size}); err != nil {
+				return nil
+			}
+		}
+		f.mu.Lock()
+		f.stats.ArtFrames++
+		f.lastHeard = time.Now()
+		if fr.Synced > f.primarySynced {
+			f.primarySynced = fr.Synced
+		}
+		f.mu.Unlock()
+		return nil
+	default:
+		f.mu.Lock()
+		f.stats.TornFrames++
+		f.mu.Unlock()
+		return nil
+	}
+}
+
+// antiEntropy diffs the primary's artifact manifest against the local store
+// and fetches what is missing or mis-sized.
+func (f *Follower) antiEntropy() error {
+	var mf manifestDoc
+	if err := f.getJSON("/v1/replicate/manifest", &mf); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	epoch := f.epoch
+	if mf.Synced > f.primarySynced {
+		f.primarySynced = mf.Synced
+	}
+	f.mu.Unlock()
+	if mf.Epoch != epoch {
+		return errResync
+	}
+	return f.fetchMissing(mf.Artifacts)
+}
+
+// fetchMissing pulls every manifest artifact the local store lacks.
+func (f *Follower) fetchMissing(arts []ArtifactRef) error {
+	for _, a := range arts {
+		stored, err := f.fetchArtifact(a)
+		if err != nil {
+			return err
+		}
+		if stored {
+			f.mu.Lock()
+			f.stats.Repairs++
+			f.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// fetchArtifact pulls one artifact's raw bytes from the primary into the
+// local store. Returns false without error when the store already has it or
+// the primary no longer serves it (evicted between the notification and the
+// fetch: the next manifest diff settles it).
+func (f *Follower) fetchArtifact(a ArtifactRef) (bool, error) {
+	if f.store.hasArtifact(a.Kind, a.Hash, a.Size) {
+		return false, nil
+	}
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/replicate/artifact/%s/%s", f.cfg.Primary, a.Kind, a.Hash), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return false, nil
+	}
+	data, err := readAllLimit(resp.Body, 256<<20)
+	resp.Body.Close()
+	if err != nil {
+		return false, err
+	}
+	if err := f.store.putRawArtifact(a.Kind, a.Hash, data); err != nil {
+		f.logf("follower: repair %s/%s: %v", a.Kind, a.Hash, err)
+		return false, nil
+	}
+	return true, nil
+}
+
+// resync re-bases the whole local mirror from a primary snapshot: journal
+// prefix bytes verbatim, fold rebuilt, artifacts backfilled.
+func (f *Follower) resync() error {
+	var doc snapshotDoc
+	if err := f.getJSON("/v1/replicate/snapshot", &doc); err != nil {
+		return err
+	}
+	if doc.Schema != snapshotSchema {
+		return fmt.Errorf("serve: snapshot schema %q", doc.Schema)
+	}
+	data, err := base64.StdEncoding.DecodeString(doc.JournalB64)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot journal: %w", err)
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		// Defensive: the primary only ships line-aligned prefixes; a torn
+		// snapshot is cut back to its last complete line and the stream
+		// re-ships the remainder.
+		if i := lastNewline(data); i >= 0 {
+			data = data[:i+1]
+		} else {
+			data = nil
+		}
+	}
+	jp := filepath.Join(f.cfg.DataDir, JournalName)
+	tmp, err := os.CreateTemp(f.cfg.DataDir, ".journal-snap-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), jp); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := writeEpochFile(jp, doc.Epoch); err != nil {
+		return err
+	}
+	jf, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.jf.Close()
+	f.jf = jf
+	f.fold = replayJournal(data)
+	f.applied = int64(len(data))
+	f.epoch = doc.Epoch
+	if doc.Synced > f.primarySynced || doc.Epoch != f.epoch {
+		f.primarySynced = doc.Synced
+	}
+	f.stats.Snapshots++
+	f.lastHeard = time.Now()
+	f.mu.Unlock()
+	f.logf("follower: snapshot applied: %d journal bytes, epoch %d, %d artifacts listed", len(data), doc.Epoch, len(doc.Artifacts))
+	return f.fetchMissing(doc.Artifacts)
+}
+
+// readAllLimit reads a body with a hard cap — a malformed or hostile
+// response cannot balloon follower memory.
+func readAllLimit(r io.Reader, limit int64) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > limit {
+		return nil, fmt.Errorf("serve: response exceeds %d bytes", limit)
+	}
+	return b, nil
+}
+
+func lastNewline(b []byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *Follower) getJSON(path string, v any) error {
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.cfg.Primary+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Stats reports the current replication state.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Applied = f.applied
+	st.PrimarySynced = f.primarySynced
+	if lag := f.primarySynced - f.applied; lag > 0 {
+		st.LagBytes = lag
+	}
+	st.Epoch = f.epoch
+	st.Connected = f.connected
+	st.JobsFolded = len(f.fold.order)
+	st.TornRecords = f.fold.torn
+	return st
+}
+
+// Promoted returns the promoted Server, nil while still following.
+func (f *Follower) Promoted() *Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// Stop ends replication without promoting (shutdown as a follower). The
+// local mirror stays on disk, ready for a later OpenFollower or Promote.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		f.cancel()
+	})
+	<-f.done
+}
+
+// Promote stops replication and opens a Server over the follower's data
+// directory — deterministic failover. Idempotent: a second call returns the
+// same Server. With a lease configured, promotion requires winning it: of
+// two followers promoted simultaneously, exactly one succeeds and the other
+// returns an error naming the winner.
+func (f *Follower) Promote() (*Server, error) {
+	f.Stop()
+	return f.doPromote()
+}
+
+// doPromote performs the promotion state machine:
+//
+//	follower ──(lease won, if configured)──► recovering ──► primary
+//
+// Recovery is the shared boot path: every journaled-but-unfinished job is
+// re-enqueued, completed jobs re-serve their mirrored artifacts, quota
+// accounting reseeds — the same transitions a crashed primary's restart
+// would make on its own disk.
+func (f *Follower) doPromote() (*Server, error) {
+	f.mu.Lock()
+	if f.promoted != nil {
+		s := f.promoted
+		f.mu.Unlock()
+		return s, nil
+	}
+	f.mu.Unlock()
+
+	if f.lease != nil {
+		ok, err := f.lease.acquire(f.id())
+		if err != nil {
+			return nil, fmt.Errorf("serve: promote: lease: %w", err)
+		}
+		if !ok {
+			rec, _ := f.lease.read()
+			return nil, fmt.Errorf("serve: promote: lease held by %q", rec.Holder)
+		}
+	}
+
+	f.mu.Lock()
+	f.jf.Sync()
+	f.jf.Close()
+	f.mu.Unlock()
+
+	cfg := f.cfg.Serve
+	cfg.DataDir = f.cfg.DataDir
+	cfg.LeasePath = f.cfg.LeasePath
+	cfg.LeaseTTL = f.cfg.LeaseTTL
+	cfg.LeaseID = f.id()
+	srv, err := Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: promote: %w", err)
+	}
+	f.mu.Lock()
+	f.promoted = srv
+	f.promotedHandler = srv.Handler()
+	f.mu.Unlock()
+	f.logf("follower: promoted to primary over %s", f.cfg.DataDir)
+	return srv, nil
+}
+
+// ---- HTTP surface ----
+
+// Handler returns the follower's HTTP API. While following it serves role
+// and replication state plus POST /v1/promote; every data-plane route gets
+// a 503 naming the primary. From the instant of promotion the full primary
+// API is served from the same address.
+func (f *Follower) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.HandleFunc("POST /v1/promote", f.handlePromote)
+	mux.HandleFunc("/", f.handleNotPrimary)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		h := f.promotedHandler
+		f.mu.Unlock()
+		if h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz: process-up, role-stamped. Always 200 — liveness is not
+// readiness; see /readyz.
+func (f *Follower) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "follower"})
+}
+
+// handleReadyz: ready only when connected to the primary and within the
+// lag bound — a load balancer must not fail over reads to a stale mirror.
+func (f *Follower) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := f.Stats()
+	if st.Connected && st.LagBytes <= f.cfg.LagBound {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "role": "follower", "lag_bytes": st.LagBytes,
+		})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status": "not_ready", "code": CodeNotReady, "role": "follower",
+		"connected": st.Connected, "lag_bytes": st.LagBytes, "lag_bound": f.cfg.LagBound,
+	})
+}
+
+func (f *Follower) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := f.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "stencilserve_replication_applied_bytes %d\n", st.Applied)
+	fmt.Fprintf(w, "stencilserve_replication_primary_synced_bytes %d\n", st.PrimarySynced)
+	fmt.Fprintf(w, "stencilserve_replication_lag_bytes %d\n", st.LagBytes)
+	fmt.Fprintf(w, "stencilserve_replication_epoch %d\n", st.Epoch)
+	fmt.Fprintf(w, "stencilserve_replication_connected %d\n", b(st.Connected))
+	fmt.Fprintf(w, "stencilserve_replication_rec_frames_total %d\n", st.RecFrames)
+	fmt.Fprintf(w, "stencilserve_replication_dup_frames_total %d\n", st.DupFrames)
+	fmt.Fprintf(w, "stencilserve_replication_gap_frames_total %d\n", st.GapFrames)
+	fmt.Fprintf(w, "stencilserve_replication_torn_frames_total %d\n", st.TornFrames)
+	fmt.Fprintf(w, "stencilserve_replication_artifact_frames_total %d\n", st.ArtFrames)
+	fmt.Fprintf(w, "stencilserve_replication_repairs_total %d\n", st.Repairs)
+	fmt.Fprintf(w, "stencilserve_replication_heartbeats_total %d\n", st.Heartbeats)
+	fmt.Fprintf(w, "stencilserve_replication_reconnects_total %d\n", st.Reconnects)
+	fmt.Fprintf(w, "stencilserve_replication_snapshots_total %d\n", st.Snapshots)
+	fmt.Fprintf(w, "stencilserve_replication_jobs_folded %d\n", st.JobsFolded)
+}
+
+func (f *Follower) handlePromote(w http.ResponseWriter, r *http.Request) {
+	srv, err := f.Promote()
+	if err != nil {
+		writeError(w, http.StatusConflict, CodeConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": true, "reenqueued_jobs": srv.Recovery().Reenqueued,
+		"completed_jobs": srv.Recovery().Completed,
+	})
+}
+
+func (f *Follower) handleNotPrimary(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, httpError{
+		Error: fmt.Sprintf("serve: this replica follows %s; submit there or POST /v1/promote here", f.cfg.Primary),
+		Code:  CodeNotPrimary,
+	})
+}

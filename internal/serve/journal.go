@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -47,13 +49,17 @@ const (
 	recCompleted = "completed"
 	recFailed    = "failed"
 	recCancelled = "cancelled"
+	// recQuota is a jobless per-tenant accounting checkpoint (token-bucket
+	// fill and stored-bytes total), written by compaction so recovery can
+	// rehydrate quota state without the full submit history.
+	recQuota = "quota"
 )
 
 // journalRecord is one NDJSON line of the WAL.
 type journalRecord struct {
 	V         int             `json:"v"`
 	Rec       string          `json:"rec"`
-	Job       string          `json:"job"`
+	Job       string          `json:"job,omitempty"`
 	Tenant    string          `json:"tenant,omitempty"`
 	SpecHash  string          `json:"spec_hash,omitempty"`
 	SetupHash string          `json:"setup_hash,omitempty"`
@@ -61,6 +67,13 @@ type journalRecord struct {
 	Attempt   int             `json:"attempt,omitempty"`
 	Cache     string          `json:"cache,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Quota piggyback: the tenant's post-admission token-bucket fill (and
+	// the instant it was observed) on submitted records, and the tenant's
+	// stored-bytes total on completed records — so replay rehydrates quota
+	// accounting to within one refill of the pre-crash values.
+	Tokens *float64 `json:"tokens,omitempty"`
+	TokTS  int64    `json:"tok_ts,omitempty"`
+	Stored *int64   `json:"stored,omitempty"`
 	// UnixNano is a wall-clock stamp for operators (journal-dump); recovery
 	// never depends on it.
 	UnixNano int64 `json:"ts,omitempty"`
@@ -75,6 +88,7 @@ type journal struct {
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast: synced advanced, or death/error
 	want *sync.Cond // signal: a durable appender raised wantSync
+	path string
 	f    *os.File
 	// w buffers record writes; the syncer flushes it before every fsync, so
 	// an acked record is always on disk. Buffered-but-unflushed records are
@@ -90,6 +104,23 @@ type journal struct {
 	// on; the syncer goroutine sleeps whenever synced has caught up to it.
 	wantSync int64
 
+	// Replication offset accounting. size is the journal's logical length in
+	// bytes (pre-existing file + every appended line); syncedBytes is the
+	// prefix covered by a completed fsync. Both only ever land on whole-line
+	// boundaries, which is what lets the replication stream ship [from,
+	// syncedBytes) without ever cutting a record. epoch names the journal's
+	// lineage: compaction rewrites the file and bumps it, invalidating every
+	// follower offset from the previous lineage.
+	size        int64
+	syncedBytes int64
+	epoch       int64
+
+	// compacting blocks appenders and the syncer while compact() rewrites
+	// the file; inFsync marks the window where the syncer has dropped the
+	// mutex for an fsync and the file handle must not be swapped.
+	compacting bool
+	inFsync    bool
+
 	records int64 // appended records
 	bytes   int64 // appended bytes
 	syncs   int64 // fsync calls (group commits)
@@ -98,17 +129,115 @@ type journal struct {
 }
 
 // openJournal opens (creating if needed) the WAL for appending and starts
-// its group-commit syncer.
+// its group-commit syncer. A torn tail (the partial final line of a crashed
+// write) is truncated first: it decodes as nothing on replay anyway, and
+// dropping it keeps two invariants — the file is line-aligned from byte 0,
+// which is what lets replication ship [from, synced) without ever cutting a
+// record, and the first post-crash append can never merge with the fragment
+// into one undecodable line.
 func openJournal(path string) (*journal, error) {
+	if err := truncateTornTail(path); err != nil {
+		return nil, fmt.Errorf("serve: trim journal tail: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: open journal: %w", err)
 	}
-	j := &journal{f: f, w: bufio.NewWriterSize(f, 64<<10), done: make(chan struct{})}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: stat journal: %w", err)
+	}
+	j := &journal{
+		path: path, f: f, w: bufio.NewWriterSize(f, 64<<10),
+		size: fi.Size(), syncedBytes: fi.Size(),
+		epoch: readEpochFile(path), done: make(chan struct{}),
+	}
 	j.cond = sync.NewCond(&j.mu)
 	j.want = sync.NewCond(&j.mu)
 	go j.syncLoop()
 	return j, nil
+}
+
+// truncateTornTail cuts a journal file back to its last complete line. A
+// missing file or one already ending in '\n' (the overwhelmingly common
+// case) is a no-op.
+func truncateTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	const step = 64 << 10
+	end := size
+	for end > 0 {
+		start := end - step
+		if start < 0 {
+			start = 0
+		}
+		chunk := make([]byte, end-start)
+		if _, err := f.ReadAt(chunk, start); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(chunk, '\n'); i >= 0 {
+			return f.Truncate(start + int64(i) + 1)
+		}
+		end = start
+	}
+	return f.Truncate(0)
+}
+
+// epochPath is the sidecar file recording the journal's compaction epoch.
+func epochPath(journalPath string) string { return journalPath + ".epoch" }
+
+// readEpochFile loads the journal epoch; a missing or corrupt sidecar means
+// epoch 1 (a journal that has never been compacted).
+func readEpochFile(journalPath string) int64 {
+	b, err := os.ReadFile(epochPath(journalPath))
+	if err != nil {
+		return 1
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// writeEpochFile persists the epoch sidecar atomically.
+func writeEpochFile(journalPath string, epoch int64) error {
+	dir := filepath.Dir(journalPath)
+	tmp, err := os.CreateTemp(dir, ".epoch-*")
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintf(tmp, "%d\n", epoch)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), epochPath(journalPath))
 }
 
 // groupCommitWindow rate-limits fsyncs under sustained load: once a commit
@@ -131,7 +260,12 @@ func (j *journal) syncLoop() {
 	var lastSync time.Time
 	j.mu.Lock()
 	for {
-		for !j.dead && j.err == nil && j.synced >= j.wantSync {
+		// Wake for durable appenders (the ack path) and, lazily, for any
+		// unsynced tail of non-durable records: replication ships only the
+		// fsync'd prefix, so the tail must reach disk once load quiesces or a
+		// follower's lag would never drain. The group-commit window below
+		// still rate-limits the fsyncs this causes.
+		for !j.dead && j.err == nil && ((j.synced >= j.wantSync && j.syncedBytes >= j.size) || j.compacting) {
 			j.want.Wait()
 		}
 		if j.dead || j.err != nil {
@@ -147,8 +281,13 @@ func (j *journal) syncLoop() {
 				j.mu.Unlock()
 				return
 			}
+			if j.compacting {
+				continue
+			}
 		}
 		target := j.seq
+		targetBytes := j.size
+		j.inFsync = true
 		ferr := j.w.Flush()
 		j.mu.Unlock()
 		serr := j.f.Sync()
@@ -157,6 +296,7 @@ func (j *journal) syncLoop() {
 		}
 		lastSync = time.Now()
 		j.mu.Lock()
+		j.inFsync = false
 		if j.dead { // killed mid-fsync: the commit never happened
 			j.cond.Broadcast()
 			j.mu.Unlock()
@@ -169,6 +309,9 @@ func (j *journal) syncLoop() {
 		} else if target > j.synced {
 			j.synced = target
 			j.syncs++
+			if targetBytes > j.syncedBytes {
+				j.syncedBytes = targetBytes
+			}
 		}
 		j.cond.Broadcast()
 	}
@@ -187,6 +330,9 @@ func (j *journal) append(r journalRecord, durable bool) error {
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.compacting && !j.dead && j.err == nil {
+		j.cond.Wait()
+	}
 	if j.dead || j.closed {
 		return errJournalDead
 	}
@@ -203,7 +349,11 @@ func (j *journal) append(r journalRecord, durable bool) error {
 	}
 	j.records++
 	j.bytes += int64(len(line))
+	j.size += int64(len(line))
 	if !durable {
+		// Nudge the syncer so the record reaches the fsync'd (and therefore
+		// replicated) prefix within a commit window, without waiting on it.
+		j.want.Signal()
 		return nil
 	}
 	if mySeq > j.wantSync {
@@ -266,15 +416,117 @@ func (j *journal) close() error {
 
 // journalStats is the operator-facing view of the append side.
 type journalStats struct {
-	Records int64
-	Bytes   int64
-	Syncs   int64
+	Records     int64
+	Bytes       int64
+	Syncs       int64
+	Size        int64 // logical file length (whole lines only)
+	SyncedBytes int64 // fsync-covered prefix length
+	Epoch       int64 // compaction lineage
 }
 
 func (j *journal) stats() journalStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return journalStats{Records: j.records, Bytes: j.bytes, Syncs: j.syncs}
+	return journalStats{
+		Records: j.records, Bytes: j.bytes, Syncs: j.syncs,
+		Size: j.size, SyncedBytes: j.syncedBytes, Epoch: j.epoch,
+	}
+}
+
+// offsets reports the journal lineage and its fsync-covered byte prefix —
+// the pair the replication stream hands to followers. Read together under
+// the mutex so a compaction can never be observed half-applied.
+func (j *journal) offsets() (epoch, synced int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch, j.syncedBytes
+}
+
+// compact rewrites the journal to live state at a safe point: appenders are
+// blocked, the syncer is idle (never mid-fsync), everything buffered is on
+// disk. rewrite maps the old file's bytes to the new ones (the fold lives in
+// compactJournal; injected here so tests can pin pathological rewrites). On
+// success the epoch is bumped and persisted, which tells every replication
+// stream — whose offsets name the old lineage — to terminate and force its
+// follower through a fresh snapshot. The rewrite itself is crash-safe: the
+// new file is fsync'd and renamed over the old one, so a crash leaves either
+// lineage intact, never a mix.
+func (j *journal) compact(rewrite func(data []byte) ([]byte, error)) error {
+	j.mu.Lock()
+	for (j.compacting || j.inFsync) && !j.dead && j.err == nil {
+		j.cond.Wait()
+	}
+	if j.dead || j.closed {
+		j.mu.Unlock()
+		return errJournalDead
+	}
+	if j.err != nil {
+		defer j.mu.Unlock()
+		return j.err
+	}
+	j.compacting = true
+	defer func() {
+		j.compacting = false
+		j.cond.Broadcast()
+		j.want.Broadcast()
+		j.mu.Unlock()
+	}()
+	if ferr := j.w.Flush(); ferr != nil {
+		j.err = fmt.Errorf("serve: compact flush: %w", ferr)
+		return j.err
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return fmt.Errorf("serve: compact read: %w", err)
+	}
+	newData, err := rewrite(data)
+	if err != nil {
+		return fmt.Errorf("serve: compact rewrite: %w", err)
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-compact-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(newData)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: compact write: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The rewritten file is in place but unappendable: poison the journal
+		// rather than keep writing through a stale handle to a renamed-away
+		// inode.
+		j.err = fmt.Errorf("serve: compact reopen: %w", err)
+		return j.err
+	}
+	j.f.Close()
+	j.f = nf
+	j.w = bufio.NewWriterSize(nf, 64<<10)
+	j.size = int64(len(newData))
+	j.syncedBytes = j.size
+	// Compaction is itself a group commit: the whole rewritten file is
+	// fsync'd, so every pending durable appender is covered.
+	if j.seq > j.synced {
+		j.synced = j.seq
+		j.syncs++
+	}
+	j.epoch++
+	if err := writeEpochFile(j.path, j.epoch); err != nil {
+		return fmt.Errorf("serve: compact epoch: %w", err)
+	}
+	return nil
 }
 
 // ---- replay side ----
@@ -305,15 +557,33 @@ func (jj *journalJob) terminal() bool {
 	return false
 }
 
+// quotaSnap is the replayed per-tenant quota accounting: the last journaled
+// token-bucket observation and the high-water stored-bytes total.
+type quotaSnap struct {
+	Tokens    float64
+	HasTokens bool
+	TokTS     int64
+	Stored    int64
+	HasStored bool
+}
+
 // journalReplay is the result of reading a WAL: per-job folds in first-seen
-// order, plus corruption accounting.
+// order, per-tenant quota snapshots, plus corruption accounting. The fold is
+// incremental — the follower feeds it one shipped record at a time via
+// applyLine, boot replay feeds it the whole file — so both sides of
+// replication share one state machine by construction.
 type journalReplay struct {
 	jobs  map[string]*journalJob
 	order []string
+	quota map[string]*quotaSnap
 	// records is the count of well-formed records; torn counts skipped
 	// lines — truncated trailing writes from a crash, or corrupt bytes.
 	records int
 	torn    int
+}
+
+func newJournalReplay() *journalReplay {
+	return &journalReplay{jobs: map[string]*journalJob{}, quota: map[string]*quotaSnap{}}
 }
 
 // readJournal loads and folds a WAL. Undecodable lines (a torn final record
@@ -324,64 +594,246 @@ func readJournal(path string) (*journalReplay, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return &journalReplay{jobs: map[string]*journalJob{}}, nil
+			return newJournalReplay(), nil
 		}
 		return nil, fmt.Errorf("serve: read journal: %w", err)
 	}
 	return replayJournal(data), nil
 }
 
-// replayJournal folds raw WAL bytes; split out for the fuzz target.
+// replayJournal folds raw WAL bytes; split out for the fuzz targets and the
+// follower's snapshot apply.
 func replayJournal(data []byte) *journalReplay {
-	rp := &journalReplay{jobs: map[string]*journalJob{}}
+	rp := newJournalReplay()
 	for _, line := range bytes.Split(data, []byte{'\n'}) {
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
-			continue
-		}
-		var r journalRecord
-		if err := json.Unmarshal(line, &r); err != nil || r.V != journalVersion || r.Job == "" {
-			rp.torn++
-			continue
-		}
-		switch r.Rec {
-		case recSubmitted, recStarted, recCompleted, recFailed, recCancelled:
-		default:
-			rp.torn++
-			continue
-		}
-		rp.records++
-		jj := rp.jobs[r.Job]
-		if jj == nil {
-			jj = &journalJob{ID: r.Job, State: r.Rec}
-			rp.jobs[r.Job] = jj
-			rp.order = append(rp.order, r.Job)
-		}
-		switch r.Rec {
-		case recSubmitted:
-			jj.Tenant = r.Tenant
-			jj.SpecHash = r.SpecHash
-			jj.SetupHash = r.SetupHash
-			jj.Spec = r.Spec
-			if jj.State == "" {
-				jj.State = recSubmitted
-			}
-		case recStarted:
-			jj.Attempts++
-			if !jj.terminal() {
-				jj.State = recStarted
-			}
-		case recCompleted:
-			jj.State = recCompleted
-			jj.Cache = r.Cache
-		case recFailed:
-			jj.State = recFailed
-			jj.Error = r.Error
-		case recCancelled:
-			jj.State = recCancelled
-		}
+		rp.applyLine(line)
 	}
 	return rp
+}
+
+// applyLine folds one WAL line into the replay, returning whether it was a
+// well-formed record. A malformed line (torn tail, bit rot, garbage shipped
+// by a confused peer) contributes nothing but a torn count — the invariant
+// the replication fuzz target leans on.
+func (rp *journalReplay) applyLine(line []byte) bool {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return true
+	}
+	var r journalRecord
+	if err := json.Unmarshal(line, &r); err != nil || r.V != journalVersion {
+		rp.torn++
+		return false
+	}
+	switch r.Rec {
+	case recQuota:
+		if r.Tenant == "" {
+			rp.torn++
+			return false
+		}
+		rp.records++
+		rp.applyQuota(r)
+		return true
+	case recSubmitted, recStarted, recCompleted, recFailed, recCancelled:
+		if r.Job == "" {
+			rp.torn++
+			return false
+		}
+	default:
+		rp.torn++
+		return false
+	}
+	rp.records++
+	if r.Tokens != nil || r.Stored != nil {
+		rp.applyQuota(r)
+	}
+	jj := rp.jobs[r.Job]
+	if jj == nil {
+		jj = &journalJob{ID: r.Job, State: r.Rec}
+		rp.jobs[r.Job] = jj
+		rp.order = append(rp.order, r.Job)
+	}
+	switch r.Rec {
+	case recSubmitted:
+		jj.Tenant = r.Tenant
+		jj.SpecHash = r.SpecHash
+		jj.SetupHash = r.SetupHash
+		jj.Spec = r.Spec
+		if jj.State == "" {
+			jj.State = recSubmitted
+		}
+	case recStarted:
+		// Attempts is a count of started records, except a compacted journal
+		// collapses the history into one started record carrying the total.
+		jj.Attempts++
+		if r.Attempt > jj.Attempts {
+			jj.Attempts = r.Attempt
+		}
+		if !jj.terminal() {
+			jj.State = recStarted
+		}
+	case recCompleted:
+		jj.State = recCompleted
+		jj.Cache = r.Cache
+	case recFailed:
+		jj.State = recFailed
+		jj.Error = r.Error
+	case recCancelled:
+		jj.State = recCancelled
+	}
+	return true
+}
+
+// applyQuota folds one record's quota piggyback fields. Token observations
+// are last-writer-wins (each snapshots the whole bucket at its instant);
+// stored-bytes totals take the maximum, so replaying records out of their
+// append order never undercounts a tenant's disk usage.
+func (rp *journalReplay) applyQuota(r journalRecord) {
+	q := rp.quota[r.Tenant]
+	if q == nil {
+		q = &quotaSnap{}
+		rp.quota[r.Tenant] = q
+	}
+	if r.Tokens != nil && r.TokTS >= q.TokTS {
+		q.Tokens = *r.Tokens
+		q.HasTokens = true
+		q.TokTS = r.TokTS
+	}
+	if r.Stored != nil {
+		q.HasStored = true
+		if *r.Stored > q.Stored {
+			q.Stored = *r.Stored
+		}
+	}
+}
+
+// ---- compaction ----
+
+// compactJournal rewrites raw WAL bytes to live state: one submitted record
+// per job (its spec dropped only when the job is completed AND haveResult
+// confirms its spilled result is on disk — otherwise recovery could neither
+// serve nor re-run it), a single started record carrying the attempt total,
+// the terminal record, and one quota checkpoint per tenant. The output is
+// O(live jobs), deterministic for a given fold (jobs in first-seen order,
+// tenants sorted), and replays to the same recovery decisions as the input.
+func compactJournal(data []byte, haveResult func(hash string) bool) ([]byte, error) {
+	rp := replayJournal(data)
+	var buf bytes.Buffer
+	emit := func(r journalRecord) error {
+		r.V = journalVersion
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		return nil
+	}
+	for _, id := range rp.order {
+		jj := rp.jobs[id]
+		sub := journalRecord{
+			Rec: recSubmitted, Job: id, Tenant: jj.Tenant,
+			SpecHash: jj.SpecHash, SetupHash: jj.SetupHash, Spec: jj.Spec,
+		}
+		if jj.State == recCompleted && haveResult != nil && haveResult(jj.SpecHash) {
+			sub.Spec = nil
+		}
+		if err := emit(sub); err != nil {
+			return nil, err
+		}
+		if jj.Attempts > 0 {
+			if err := emit(journalRecord{Rec: recStarted, Job: id, SpecHash: jj.SpecHash, Tenant: jj.Tenant, Attempt: jj.Attempts}); err != nil {
+				return nil, err
+			}
+		}
+		var term *journalRecord
+		switch jj.State {
+		case recCompleted:
+			term = &journalRecord{Rec: recCompleted, Job: id, SpecHash: jj.SpecHash, Tenant: jj.Tenant, Cache: jj.Cache}
+		case recFailed:
+			term = &journalRecord{Rec: recFailed, Job: id, SpecHash: jj.SpecHash, Tenant: jj.Tenant, Error: jj.Error}
+		case recCancelled:
+			term = &journalRecord{Rec: recCancelled, Job: id, SpecHash: jj.SpecHash, Tenant: jj.Tenant}
+		}
+		if term != nil {
+			if err := emit(*term); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tenants := make([]string, 0, len(rp.quota))
+	for t := range rp.quota {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		q := rp.quota[t]
+		rec := journalRecord{Rec: recQuota, Tenant: t}
+		if q.HasTokens {
+			tok := q.Tokens
+			rec.Tokens = &tok
+			rec.TokTS = q.TokTS
+		}
+		if q.HasStored {
+			stored := q.Stored
+			rec.Stored = &stored
+		}
+		if err := emit(rec); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// CompactDataDir compacts a data directory's journal offline (no server
+// running on it): the -journal-compact flag. Returns before/after sizes. A
+// live server auto-compacts at Config.CompactBytes instead.
+func CompactDataDir(dir string) (before, after int64, err error) {
+	path := filepath.Join(dir, JournalName)
+	if fi, serr := os.Stat(dir); serr == nil && !fi.IsDir() {
+		path = dir
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	haveResult := func(hash string) bool {
+		if hash == "" {
+			return false
+		}
+		_, serr := os.Stat(filepath.Join(filepath.Dir(path), resultsDirName, hash+".json"))
+		return serr == nil
+	}
+	newData, err := compactJournal(data, haveResult)
+	if err != nil {
+		return int64(len(data)), 0, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-compact-*")
+	if err != nil {
+		return int64(len(data)), 0, err
+	}
+	_, werr := tmp.Write(newData)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return int64(len(data)), 0, werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return int64(len(data)), 0, err
+	}
+	if err := writeEpochFile(path, readEpochFile(path)+1); err != nil {
+		return int64(len(data)), int64(len(newData)), err
+	}
+	return int64(len(data)), int64(len(newData)), nil
 }
 
 // ---- journal-dump (operator tooling) ----

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The failover lease: a shared JSON file naming the current primary.
+//
+// The lease is advisory coordination for automatic promotion, not a
+// distributed lock — the deployments this targets put primary and standby
+// data directories on storage that both processes can reach (the follower
+// needs no shared storage for replication itself, only for the lease). The
+// holder refreshes its stamp every ttl/3; a peer observing a stamp older
+// than ttl may steal the lease. Writes are atomic (temp + rename) and every
+// acquisition is confirmed by re-reading the file, so of two simultaneous
+// stealers exactly one wins — the loser sees the winner's name and stands
+// down. A stale primary that wakes from a long pause discovers the theft at
+// its next refresh (the holder changed) and must demote itself: the
+// refresh-false contract every caller handles.
+
+// leaseRecord is the on-disk lease: who holds it and when they last proved
+// liveness.
+type leaseRecord struct {
+	Holder   string `json:"holder"`
+	UnixNano int64  `json:"ts"`
+}
+
+// lease wraps one lease file with its timeout policy.
+type lease struct {
+	path string
+	ttl  time.Duration
+	now  func() time.Time // swappable in tests
+}
+
+func newLease(path string, ttl time.Duration, now func() time.Time) *lease {
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &lease{path: path, ttl: ttl, now: now}
+}
+
+// read loads the lease file; ok=false means absent or undecodable (both
+// mean: nobody holds it).
+func (l *lease) read() (leaseRecord, bool) {
+	b, err := os.ReadFile(l.path)
+	if err != nil {
+		return leaseRecord{}, false
+	}
+	var rec leaseRecord
+	if json.Unmarshal(b, &rec) != nil || rec.Holder == "" {
+		return leaseRecord{}, false
+	}
+	return rec, true
+}
+
+// expired reports whether a lease record's stamp is past the ttl.
+func (l *lease) expired(rec leaseRecord) bool {
+	return l.now().Sub(time.Unix(0, rec.UnixNano)) > l.ttl
+}
+
+// write stamps the lease for holder via atomic rename.
+func (l *lease) write(holder string) error {
+	b, err := json.Marshal(leaseRecord{Holder: holder, UnixNano: l.now().UnixNano()})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), ".lease-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), l.path)
+}
+
+// acquire takes the lease if it is free, expired, or already ours. The
+// write-then-confirm read resolves simultaneous stealers: both may write,
+// but the last rename wins and both re-read the same winner.
+func (l *lease) acquire(holder string) (bool, error) {
+	rec, ok := l.read()
+	if ok && rec.Holder != holder && !l.expired(rec) {
+		return false, nil // held by a live peer
+	}
+	if err := l.write(holder); err != nil {
+		return false, err
+	}
+	rec, ok = l.read()
+	return ok && rec.Holder == holder, nil
+}
+
+// refresh re-stamps a lease the caller believes it holds. false means the
+// lease was stolen (or deleted) — the caller is no longer primary and must
+// demote itself immediately, before accepting another write.
+func (l *lease) refresh(holder string) (bool, error) {
+	rec, ok := l.read()
+	if !ok || rec.Holder != holder {
+		return false, nil
+	}
+	if err := l.write(holder); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// release surrenders the lease if still held (graceful shutdown, so the
+// standby can take over without waiting out the ttl).
+func (l *lease) release(holder string) {
+	if rec, ok := l.read(); ok && rec.Holder == holder {
+		os.Remove(l.path)
+	}
+}

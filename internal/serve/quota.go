@@ -158,6 +158,41 @@ func (qs *quotas) addStored(tenant string, bytes int64, now time.Time) {
 	qs.mu.Unlock()
 }
 
+// snapshot reads a tenant's current bucket fill and stored-bytes total for
+// journaling. hasRate reports whether the tenant has a token bucket at all —
+// without one the fill is meaningless and not worth a journal field.
+func (qs *quotas) snapshot(tenant string, now time.Time) (tokens float64, stored int64, hasRate bool) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	ts := qs.state(tenant, now)
+	return ts.tokens, ts.storedBytes, qs.quotaFor(tenant).SubmitRate > 0
+}
+
+// seed rehydrates a tenant's accounting from replayed journal state. Tokens
+// resume from the last journaled observation with refill credited for the
+// downtime (clamped to the burst), which is what bounds post-restart drift
+// to one refill interval. Stored bytes take the max of the journaled total
+// and whatever loadAll already counted from the disk files themselves, so
+// evicted-then-recomputed results — journaled but re-spilled over the same
+// content-addressed path — are no longer double-counted.
+func (qs *quotas) seed(tenant string, snap quotaSnap, now time.Time) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	ts := qs.state(tenant, now)
+	q := qs.quotaFor(tenant)
+	if snap.HasTokens && q.SubmitRate > 0 {
+		ts.tokens = math.Min(float64(burstOf(q)), snap.Tokens)
+		at := time.Unix(0, snap.TokTS)
+		if at.After(now) {
+			at = now
+		}
+		ts.refilled = at
+	}
+	if snap.HasStored && snap.Stored > ts.storedBytes {
+		ts.storedBytes = snap.Stored
+	}
+}
+
 // storedBytesTotal sums every tenant's spilled bytes (a /metrics gauge).
 func (qs *quotas) storedBytesTotal() int64 {
 	qs.mu.Lock()

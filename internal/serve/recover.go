@@ -21,6 +21,7 @@ type RecoveryStats struct {
 	ResultsRehydrated int `json:"rehydrated_results"` // result-cache entries loaded from disk
 	SetupsRehydrated  int `json:"rehydrated_setups"`  // setup-cache entries loaded from disk
 	SkippedFiles      int `json:"skipped_files"`      // corrupt/foreign store files ignored
+	QuotaTenants      int `json:"quota_tenants"`      // tenants whose quota accounting was reseeded
 }
 
 // recoverFromDisk opens the data directory, replays the journal, rehydrates
@@ -107,6 +108,15 @@ func (s *Server) recoverFromDisk(dir string) error {
 		s.nextID = maxID
 	}
 	s.mu.Unlock()
+
+	// Reseed per-tenant quota accounting from the journal's piggybacked
+	// observations. This runs after loadAll's disk scan, so stored bytes end
+	// at max(scan, journal) — the journal covers results the crash lost off
+	// disk; the scan covers spills whose completed record was lost.
+	for tenant, snap := range rep.quota {
+		s.quotas.seed(tenant, *snap, now)
+		s.recovery.QuotaTenants++
+	}
 
 	// Reopen the journal for appends; new records land after the replayed
 	// ones, and the next replay folds both.

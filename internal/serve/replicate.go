@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The primary side of replication: journal shipping over chunked NDJSON.
+//
+// The unit of replication is the journal byte. The primary's journal only
+// ever grows by whole fsync'd lines (openJournal truncates any torn tail
+// left by a crash, so the file is line-aligned from byte 0), and the stream
+// ships the byte range [from, syncedBytes) split back into lines — one
+// frame per record, each stamped with its starting offset. A follower that
+// appends exactly those bytes at exactly those offsets holds a
+// byte-identical prefix of the primary's journal, which is what makes
+// promotion trivial: it is crash recovery on the follower's own data dir,
+// reusing the boot path verbatim.
+//
+// Alongside record frames the stream carries artifact frames (spilled cache
+// envelopes, shipped verbatim so byte-identity survives the hop) and
+// heartbeat frames (liveness + the primary's synced offset, which is how a
+// follower measures its replication lag). Artifacts are an optimization
+// exactly as they are on the primary's own disk: a follower that misses one
+// re-runs the job's spec after promotion and reproduces the same bytes.
+//
+// Offsets name bytes within one journal lineage. Compaction rewrites the
+// file and bumps the epoch; every stream detects the epoch change, emits a
+// final heartbeat, and terminates, forcing its follower through a fresh
+// snapshot (409 resync on reconnect). A snapshot is the anti-entropy path
+// for late joiners too: the whole journal prefix plus the artifact
+// manifest, fetched once, then the tail streams.
+
+const (
+	frameVersion = 1
+	frameRec     = "rec" // one journal line at Off
+	frameArt     = "art" // one spilled cache envelope
+	frameHB      = "hb"  // liveness + synced offset
+)
+
+// repFrame is one NDJSON line of the replication stream.
+type repFrame struct {
+	V     int    `json:"v"`
+	T     string `json:"t"`
+	Epoch int64  `json:"epoch"`
+	// Rec frames: the journal line (raw when it is valid JSON, base64 when
+	// not — a bit-rotted line still has to move verbatim to keep the
+	// follower's journal a byte-identical prefix) and its starting offset.
+	Off    int64           `json:"off,omitempty"`
+	Rec    json.RawMessage `json:"rec,omitempty"`
+	RecB64 string          `json:"rec_b64,omitempty"`
+	// Art frames: the artifact address. The envelope bytes travel out of
+	// band — the follower fetches them raw from /v1/replicate/artifact —
+	// because base64-in-JSON would cost an encode+escape+unescape+decode
+	// round trip over megabytes of payload on both ends. B64 carries the
+	// bytes inline only in legacy frames; current primaries never set it.
+	Kind string `json:"kind,omitempty"`
+	Hash string `json:"hash,omitempty"`
+	Size int64  `json:"size,omitempty"`
+	B64  string `json:"b64,omitempty"`
+	// Synced rides on every frame: the primary's fsync-covered journal
+	// length, the follower's lag reference.
+	Synced int64 `json:"synced,omitempty"`
+}
+
+// snapshotSchema versions the anti-entropy snapshot document.
+const snapshotSchema = "stencilserve-snapshot/1"
+
+// snapshotDoc is the late-joiner catch-up payload: the full journal prefix
+// (every fsync'd byte) plus the artifact manifest to fetch.
+type snapshotDoc struct {
+	Schema     string        `json:"schema"`
+	Epoch      int64         `json:"epoch"`
+	Synced     int64         `json:"synced"`
+	JournalB64 string        `json:"journal_b64"`
+	Artifacts  []ArtifactRef `json:"artifacts"`
+}
+
+// manifestDoc is the anti-entropy listing a connected follower diffs
+// against its own store.
+type manifestDoc struct {
+	Epoch     int64         `json:"epoch"`
+	Synced    int64         `json:"synced"`
+	Artifacts []ArtifactRef `json:"artifacts"`
+}
+
+// resyncInfo is the 409 body telling a follower its offset does not name a
+// byte of the current journal lineage (stale epoch, or an offset past the
+// synced prefix): fetch a snapshot, then come back.
+type resyncInfo struct {
+	Code   string `json:"code"` // "resync"
+	Error  string `json:"error"`
+	Epoch  int64  `json:"epoch"`
+	Synced int64  `json:"synced"`
+}
+
+// replicator is the primary's replication bookkeeping: the in-process
+// artifact feed connected streams tail, plus counters for /metrics.
+type replicator struct {
+	mu    sync.Mutex
+	arts  []ArtifactRef       // spill feed, append-only for the process lifetime
+	noted map[string]struct{} // kind/hash pairs already on the feed
+
+	streams     atomic.Int64 // connected follower streams
+	recFrames   atomic.Int64 // record frames shipped
+	artFrames   atomic.Int64 // artifact frames shipped
+	snapshots   atomic.Int64 // snapshots served
+	compactions atomic.Int64 // journal compactions completed
+}
+
+// note records one spill for connected streams to ship. Artifacts are
+// content-addressed — a hash names one immutable byte string — so a re-spill
+// of a hash already on the feed (a cache-miss stampede recomputing the same
+// spec, or an evicted entry coming back) ships nothing: the follower either
+// has those bytes or repairs them from its next manifest diff.
+func (rp *replicator) note(kind, hash string, size int64) {
+	key := kind + "/" + hash
+	rp.mu.Lock()
+	if rp.noted == nil {
+		rp.noted = make(map[string]struct{})
+	}
+	if _, dup := rp.noted[key]; !dup {
+		rp.noted[key] = struct{}{}
+		rp.arts = append(rp.arts, ArtifactRef{Kind: kind, Hash: hash, Size: size})
+	}
+	rp.mu.Unlock()
+}
+
+// head returns the current end of the artifact feed (a new stream starts
+// here: everything earlier is covered by its connect-time manifest diff).
+func (rp *replicator) head() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.arts)
+}
+
+// since returns feed entries past idx and advances it.
+func (rp *replicator) since(idx *int) []ArtifactRef {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if *idx >= len(rp.arts) {
+		return nil
+	}
+	out := rp.arts[*idx:len(rp.arts):len(rp.arts)]
+	*idx = len(rp.arts)
+	return out
+}
+
+// heartbeatInterval resolves the configured stream heartbeat cadence.
+func (s *Server) heartbeatInterval() time.Duration {
+	if s.cfg.HeartbeatInterval > 0 {
+		return s.cfg.HeartbeatInterval
+	}
+	return 100 * time.Millisecond
+}
+
+// errNotDurable refuses replication endpoints on an in-memory server.
+var errNotDurable = errors.New("serve: not durable (no DataDir); nothing to replicate")
+
+func writeResync(w http.ResponseWriter, epoch, synced int64, msg string) {
+	writeJSON(w, http.StatusConflict, resyncInfo{Code: "resync", Error: msg, Epoch: epoch, Synced: synced})
+}
+
+// handleReplicateStream serves GET /v1/replicate/stream?from=N&epoch=E: an
+// unbounded NDJSON frame stream from journal offset N of lineage E.
+func (s *Server) handleReplicateStream(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusConflict, CodeConflict, errNotDurable)
+		return
+	}
+	from, err1 := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+	wantEpoch, err2 := strconv.ParseInt(r.URL.Query().Get("epoch"), 10, 64)
+	epoch, synced := s.journal.offsets()
+	if err1 != nil || err2 != nil || from < 0 {
+		writeResync(w, epoch, synced, "bad from/epoch")
+		return
+	}
+	if wantEpoch != epoch || from > synced {
+		writeResync(w, epoch, synced, fmt.Sprintf("offset %d@%d does not name this lineage (%d@%d)", from, wantEpoch, synced, epoch))
+		return
+	}
+	f, err := os.Open(s.journal.path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	defer f.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	s.rep.streams.Add(1)
+	defer s.rep.streams.Add(-1)
+
+	// Artifacts spilled before this stream connected are the follower's
+	// manifest diff to fetch; the feed tail starts now.
+	artIdx := s.rep.head()
+	ctx := r.Context()
+	hb := time.NewTicker(s.heartbeatInterval())
+	defer hb.Stop()
+	buf := make([]byte, 256<<10)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		epoch2, synced2 := s.journal.offsets()
+		if epoch2 != epoch {
+			// Compacted under us: the offsets this stream speaks are dead.
+			// One last heartbeat with the new lineage, then hang up — the
+			// follower reconnects, gets a 409, and snapshots.
+			enc.Encode(repFrame{V: frameVersion, T: frameHB, Epoch: epoch2, Synced: synced2})
+			flush()
+			return
+		}
+		progressed := false
+		if from < synced2 {
+			n := synced2 - from
+			if n > int64(len(buf)) {
+				n = int64(len(buf))
+			}
+			m, rerr := f.ReadAt(buf[:n], from)
+			if m == 0 && rerr != nil {
+				return
+			}
+			chunk := buf[:m]
+			if end := bytes.LastIndexByte(chunk, '\n'); end >= 0 {
+				chunk = chunk[:end+1]
+				for len(chunk) > 0 {
+					nl := bytes.IndexByte(chunk, '\n')
+					line := chunk[:nl]
+					chunk = chunk[nl+1:]
+					fr := repFrame{V: frameVersion, T: frameRec, Epoch: epoch, Off: from, Synced: synced2}
+					if json.Valid(line) {
+						fr.Rec = json.RawMessage(line)
+					} else {
+						fr.RecB64 = base64.StdEncoding.EncodeToString(line)
+					}
+					if err := enc.Encode(fr); err != nil {
+						return
+					}
+					from += int64(nl) + 1
+					s.rep.recFrames.Add(1)
+					progressed = true
+				}
+			}
+		}
+		for _, a := range s.rep.since(&artIdx) {
+			if err := enc.Encode(repFrame{
+				V: frameVersion, T: frameArt, Epoch: epoch,
+				Kind: a.Kind, Hash: a.Hash, Size: a.Size, Synced: synced2,
+			}); err != nil {
+				return
+			}
+			s.rep.artFrames.Add(1)
+			progressed = true
+		}
+		if progressed {
+			flush()
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-hb.C:
+			if err := enc.Encode(repFrame{V: frameVersion, T: frameHB, Epoch: epoch, Synced: synced2}); err != nil {
+				return
+			}
+			flush()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// handleReplicateSnapshot serves GET /v1/replicate/snapshot: the whole
+// fsync'd journal prefix plus the artifact manifest — the late joiner (and
+// post-compaction) catch-up path.
+func (s *Server) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusConflict, CodeConflict, errNotDurable)
+		return
+	}
+	// offsets and file bytes must come from the same lineage; a compaction
+	// racing the read is detected by the epoch moving and retried.
+	for attempt := 0; attempt < 3; attempt++ {
+		epoch, synced := s.journal.offsets()
+		data, err := os.ReadFile(s.journal.path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
+		epoch2, _ := s.journal.offsets()
+		if epoch2 != epoch {
+			continue
+		}
+		if int64(len(data)) > synced {
+			data = data[:synced]
+		}
+		s.rep.snapshots.Add(1)
+		writeJSON(w, http.StatusOK, snapshotDoc{
+			Schema: snapshotSchema, Epoch: epoch, Synced: int64(len(data)),
+			JournalB64: base64.StdEncoding.EncodeToString(data),
+			Artifacts:  s.store.manifest(),
+		})
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, CodeInternal, errors.New("serve: snapshot raced compaction"))
+}
+
+// handleReplicateManifest serves GET /v1/replicate/manifest: the periodic
+// anti-entropy listing.
+func (s *Server) handleReplicateManifest(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusConflict, CodeConflict, errNotDurable)
+		return
+	}
+	epoch, synced := s.journal.offsets()
+	writeJSON(w, http.StatusOK, manifestDoc{Epoch: epoch, Synced: synced, Artifacts: s.store.manifest()})
+}
+
+// handleReplicateArtifact serves GET /v1/replicate/artifact/{kind}/{hash}:
+// one spilled envelope, bytes verbatim.
+func (s *Server) handleReplicateArtifact(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, CodeConflict, errNotDurable)
+		return
+	}
+	data, err := s.store.readArtifact(r.PathValue("kind"), r.PathValue("hash"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handlePromote on a primary is a refusal: promotion is a follower verb.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusConflict, CodeConflict, errors.New("serve: already primary"))
+}
+
+// maybeCompact triggers an online journal compaction once the file crosses
+// Config.CompactBytes. At most one runs at a time; jobs keep executing —
+// only journal appends pause for the rewrite window.
+func (s *Server) maybeCompact() {
+	if s.cfg.CompactBytes <= 0 || s.journal == nil {
+		return
+	}
+	if s.journal.stats().Size < s.cfg.CompactBytes {
+		return
+	}
+	if !s.compactBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compactBusy.Store(false)
+		if err := s.CompactJournal(); err == nil {
+			s.rep.compactions.Add(1)
+		}
+	}()
+}
+
+// CompactJournal rewrites the live server's journal to live state at a safe
+// point (appends blocked, syncer idle) and bumps the epoch, forcing
+// connected followers through a snapshot re-sync.
+func (s *Server) CompactJournal() error {
+	if s.journal == nil {
+		return errNotDurable
+	}
+	return s.journal.compact(func(data []byte) ([]byte, error) {
+		return compactJournal(data, func(hash string) bool {
+			return s.store.hasArtifact("result", hash, -1)
+		})
+	})
+}

@@ -488,9 +488,18 @@ func TestDrain(t *testing.T) {
 	if _, err := s.Submit("t", tinySpec()); !errors.Is(err, ErrDraining) {
 		t.Errorf("submit after drain: %v, want ErrDraining", err)
 	}
-	resp, _ := get(t, ts, "/healthz")
+	// Liveness stays green through a drain (the process is alive, just not
+	// accepting work); readiness is what goes 503.
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while drained: %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("healthz body while drained: %s, want status draining", body)
+	}
+	resp, _ = get(t, ts, "/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while drained: %d, want 503", resp.StatusCode)
+		t.Errorf("readyz while drained: %d, want 503", resp.StatusCode)
 	}
 }
 

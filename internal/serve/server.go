@@ -84,6 +84,23 @@ type Config struct {
 	// 25ms, doubling per attempt).
 	RetryLimit   int
 	RetryBackoff time.Duration
+
+	// HeartbeatInterval paces replication-stream heartbeats (and thus how
+	// quickly followers learn the synced offset when no records flow);
+	// 0 defaults to 100ms.
+	HeartbeatInterval time.Duration
+	// CompactBytes triggers an automatic journal compaction whenever the
+	// file grows past this many bytes; 0 disables auto-compaction (the
+	// explicit CompactJournal call and the -journal-compact flag remain).
+	CompactBytes int64
+	// LeasePath enables failover-lease arbitration: Open acquires the lease
+	// (failing if a live peer holds it) and refreshes it every LeaseTTL/3;
+	// losing it (a standby stole it during a long pause) closes the channel
+	// returned by LeaseLost. LeaseTTL defaults to 2s; LeaseID names this
+	// process as the holder (default "primary").
+	LeasePath string
+	LeaseTTL  time.Duration
+	LeaseID   string
 }
 
 // Server owns the queue, the worker pool, the job registry, the caches, and
@@ -97,6 +114,18 @@ type Server struct {
 
 	journal *journal // nil when in-memory only
 	store   *store   // nil when in-memory only
+
+	// Replication plumbing: rep fans spilled artifacts out to live streams
+	// and holds the stream counters; compactBusy serializes automatic
+	// compactions.
+	rep         replicator
+	compactBusy atomic.Bool
+
+	// Failover lease (nil unless Config.LeasePath is set).
+	lease         *lease
+	leaseLost     chan struct{}
+	leaseStop     chan struct{}
+	leaseStopOnce sync.Once
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -168,12 +197,80 @@ func Open(cfg Config) (*Server, error) {
 		if err := s.recoverFromDisk(cfg.DataDir); err != nil {
 			return nil, err
 		}
+		// Spills from here on feed live replication streams. Wired after
+		// recovery so the boot-time rehydration scan does not flood the feed:
+		// artifacts that predate a follower's connection are covered by its
+		// connect-time manifest diff instead.
+		s.store.onSpill = s.rep.note
+	}
+	if cfg.LeasePath != "" {
+		l := newLease(cfg.LeasePath, cfg.LeaseTTL, s.now)
+		ok, err := l.acquire(s.leaseID())
+		if err != nil {
+			return nil, fmt.Errorf("serve: lease: %w", err)
+		}
+		if !ok {
+			rec, _ := l.read()
+			return nil, fmt.Errorf("serve: lease %s held by live holder %q; start as a follower instead", cfg.LeasePath, rec.Holder)
+		}
+		s.lease = l
+		s.leaseLost = make(chan struct{})
+		s.leaseStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.leaseLoop()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+func (s *Server) leaseID() string {
+	if s.cfg.LeaseID != "" {
+		return s.cfg.LeaseID
+	}
+	return "primary"
+}
+
+// leaseLoop refreshes the failover lease every ttl/3. A refresh that finds
+// another holder means a standby stole the lease during a pause longer than
+// the ttl: this process is no longer primary and must stop accepting writes
+// — signalled through LeaseLost; cmd/stencilserve drains and exits on it.
+// Transient write errors are retried at the next tick (holding the lease is
+// proven by the file's content, not by our ability to re-stamp it).
+func (s *Server) leaseLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.lease.ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.leaseStop:
+			return
+		case <-t.C:
+			ok, err := s.lease.refresh(s.leaseID())
+			if err == nil && !ok {
+				close(s.leaseLost)
+				return
+			}
+		}
+	}
+}
+
+// LeaseLost returns a channel closed when this server loses the failover
+// lease (nil when no lease is configured).
+func (s *Server) LeaseLost() <-chan struct{} { return s.leaseLost }
+
+// stopLeaseLoop ends lease refreshing; release additionally surrenders the
+// file so the standby can take over without waiting out the ttl.
+func (s *Server) stopLeaseLoop(release bool) {
+	if s.lease == nil {
+		return
+	}
+	s.leaseStopOnce.Do(func() { close(s.leaseStop) })
+	if release {
+		s.lease.release(s.leaseID())
+	}
 }
 
 // shedDepth / degradeDepth resolve the configured watermarks.
@@ -307,6 +404,12 @@ func (s *Server) Submit(tenant string, spec *jobspec.Spec) (*Job, error) {
 			SpecHash: hash, SetupHash: setupHash,
 			Spec: spec0, UnixNano: nowNano(s.now),
 		}
+		// Piggyback the post-admission bucket fill so a restart resumes the
+		// tenant's rate budget instead of refunding it (quota persistence).
+		if tok, _, hasRate := s.quotas.snapshot(tenant, now); hasRate {
+			rec.Tokens = &tok
+			rec.TokTS = now.UnixNano()
+		}
 		if merr == nil {
 			merr = s.journal.append(rec, true)
 		}
@@ -359,6 +462,7 @@ func (s *Server) journalAppend(rec journalRecord) {
 	if err := s.journal.append(rec, false); err == nil {
 		s.count("stencilserve_journal_records_total")
 	}
+	s.maybeCompact()
 }
 
 // Job returns a registered job by ID.
@@ -424,6 +528,7 @@ func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.stopLeaseLoop(true) // surrender the lease so a standby can promote now
 	s.queue.close()
 	s.wg.Wait()
 	if s.journal != nil {
@@ -439,6 +544,9 @@ func (s *Server) Drain() {
 // every acknowledged job.
 func (s *Server) Kill() {
 	s.killed.Store(true)
+	// The lease file is deliberately NOT released: a dead primary leaves its
+	// stamp behind, and the standby steals the lease only after the ttl.
+	s.stopLeaseLoop(false)
 	if s.journal != nil {
 		s.journal.kill()
 	}
@@ -463,11 +571,13 @@ func (s *Server) worker() {
 
 // finalize applies a terminal transition with its journal record and
 // in-flight release — every completion path funnels through here so no exit
-// leaks a quota slot or a journal state.
-func (s *Server) finalize(j *Job, rec string, apply func(now time.Time)) {
+// leaks a quota slot or a journal state. stored, when non-nil, is the
+// tenant's stored-bytes total after this job's spill, piggybacked onto the
+// record for quota persistence.
+func (s *Server) finalize(j *Job, rec string, stored *int64, apply func(now time.Time)) {
 	now := s.now()
 	apply(now)
-	s.journalAppend(journalRecord{Rec: rec, Job: j.ID, SpecHash: j.Hash, Tenant: j.Tenant, UnixNano: now.UnixNano()})
+	s.journalAppend(journalRecord{Rec: rec, Job: j.ID, SpecHash: j.Hash, Tenant: j.Tenant, Stored: stored, UnixNano: now.UnixNano()})
 	s.quotas.release(j.Tenant, now)
 }
 
@@ -486,7 +596,7 @@ func (s *Server) execute(j *Job) {
 	}
 	// A queued job past its deadline fails without burning an engine run.
 	if !j.deadline.IsZero() && s.now().After(j.deadline) {
-		s.finalize(j, recFailed, func(now time.Time) {
+		s.finalize(j, recFailed, nil, func(now time.Time) {
 			j.finish(now, nil, nil, errDeadline, false, false)
 		})
 		s.count("stencilserve_jobs_deadline_total")
@@ -501,7 +611,7 @@ func (s *Server) execute(j *Job) {
 	// engine run at all. Correct because Hash determines the result bytes.
 	if e, ok := s.results.Get(j.Hash); ok {
 		lap.lap("cache-lookup", "result-hit")
-		s.finalize(j, recCompleted, func(now time.Time) {
+		s.finalize(j, recCompleted, nil, func(now time.Time) {
 			j.finish(now, e.result, e.events, nil, true, false)
 		})
 		s.count("stencilserve_jobs_completed_total", telemetry.Label{Key: "cache", Value: "result"})
@@ -553,7 +663,7 @@ func (s *Server) execute(j *Job) {
 			// The engine honored the deadline: the job fails (never
 			// cancelled — nobody asked for it), partial bytes are never
 			// cached.
-			s.finalize(j, recFailed, func(now time.Time) {
+			s.finalize(j, recFailed, nil, func(now time.Time) {
 				j.finish(now, nil, nil, errDeadline, false, usedSetup)
 			})
 			s.count("stencilserve_jobs_deadline_total")
@@ -562,14 +672,14 @@ func (s *Server) execute(j *Job) {
 		// The engine honored a mid-run /cancel: the job ends cancelled (not
 		// failed), its partial bytes are never cached, and this worker is
 		// immediately free for the next job.
-		s.finalize(j, recCancelled, func(now time.Time) {
+		s.finalize(j, recCancelled, nil, func(now time.Time) {
 			j.finishCancelled(now)
 		})
 		s.count("stencilserve_jobs_cancelled_total")
 		return
 	}
 	if err != nil {
-		s.finalize(j, recFailed, func(now time.Time) {
+		s.finalize(j, recFailed, nil, func(now time.Time) {
 			j.finish(now, nil, nil, err, false, usedSetup)
 		})
 		s.count("stencilserve_jobs_failed_total")
@@ -580,6 +690,7 @@ func (s *Server) execute(j *Job) {
 	// be written, the result bytes are already durable, so recovery never
 	// trusts a completed record whose payload is missing. A spill failure is
 	// not fatal — the entry just will not survive a restart.
+	var storedTotal *int64
 	if s.store != nil {
 		if n, serr := s.store.putResult(j.Hash, resultEntry{result: out.result, events: out.events}, j.Tenant, out.virtualSeconds); serr == nil {
 			s.quotas.addStored(j.Tenant, n, s.now())
@@ -587,6 +698,11 @@ func (s *Server) execute(j *Job) {
 		if !usedSetup && out.assignments != nil {
 			s.store.putSetup(j.SetupHash, out.assignments, s.now().Sub(setupStart).Seconds())
 		}
+		// Piggyback the tenant's post-spill stored total onto the completed
+		// record, so quota accounting survives a restart even when the store
+		// scan undercounts (a spill lost to a torn write or eviction).
+		_, st, _ := s.quotas.snapshot(j.Tenant, s.now())
+		storedTotal = &st
 	}
 	s.results.Put(j.Hash, resultEntry{result: out.result, events: out.events}, out.virtualSeconds)
 	if !usedSetup && out.assignments != nil {
@@ -597,7 +713,7 @@ func (s *Server) execute(j *Job) {
 	if usedSetup {
 		label = "setup"
 	}
-	s.finalize(j, recCompleted, func(now time.Time) {
+	s.finalize(j, recCompleted, storedTotal, func(now time.Time) {
 		j.finish(now, out.result, out.events, nil, false, usedSetup)
 	})
 	s.count("stencilserve_jobs_completed_total", telemetry.Label{Key: "cache", Value: label})
@@ -618,7 +734,7 @@ func (s *Server) retryOrFail(j *Job, panicVal any) {
 	s.count("stencilserve_jobs_retried_total")
 	attempts := j.status(false).Attempts
 	if attempts > s.cfg.RetryLimit {
-		s.finalize(j, recFailed, func(now time.Time) {
+		s.finalize(j, recFailed, nil, func(now time.Time) {
 			j.finish(now, nil, nil, fmt.Errorf("serve: worker died after %d attempts: %v", attempts, panicVal), false, false)
 		})
 		s.count("stencilserve_jobs_failed_total")
@@ -636,7 +752,7 @@ func (s *Server) retryOrFail(j *Job, panicVal any) {
 		}
 		if err := s.queue.forcePush(j); err != nil {
 			// Draining: the retry lost its window.
-			s.finalize(j, recFailed, func(now time.Time) {
+			s.finalize(j, recFailed, nil, func(now time.Time) {
 				j.finish(now, nil, nil, fmt.Errorf("serve: retry abandoned: %w", err), false, false)
 			})
 			s.count("stencilserve_jobs_failed_total")
@@ -681,9 +797,12 @@ func (s *Server) Recovery() RecoveryStats { return s.recovery }
 
 // JournalStats is the exported view of the journal's append-side counters.
 type JournalStats struct {
-	Records int64 `json:"records"`
-	Bytes   int64 `json:"bytes"`
-	Syncs   int64 `json:"syncs"` // group commits: fsyncs, each covering >=1 record
+	Records     int64 `json:"records"`
+	Bytes       int64 `json:"bytes"`
+	Syncs       int64 `json:"syncs"`        // group commits: fsyncs, each covering >=1 record
+	Size        int64 `json:"size"`         // current file size (bytes)
+	SyncedBytes int64 `json:"synced_bytes"` // fsync'd prefix — the replication shipping bound
+	Epoch       int64 `json:"epoch"`        // bumped by each compaction
 }
 
 // JournalStats reports the journal counters (zero when in-memory only).
@@ -692,7 +811,10 @@ func (s *Server) JournalStats() JournalStats {
 		return JournalStats{}
 	}
 	st := s.journal.stats()
-	return JournalStats{Records: st.Records, Bytes: st.Bytes, Syncs: st.Syncs}
+	return JournalStats{
+		Records: st.Records, Bytes: st.Bytes, Syncs: st.Syncs,
+		Size: st.Size, SyncedBytes: st.SyncedBytes, Epoch: st.Epoch,
+	}
 }
 
 // QueueDepth reports the number of queued jobs.
@@ -710,8 +832,17 @@ func (s *Server) QueueDepth() int { return s.queue.depth() }
 //	GET    /v1/jobs/{id}/trace   wall-clock trace (?format=perfetto for Chrome JSON)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job (409 if done)
 //	GET    /metrics            Prometheus text + runtime/metrics snapshot
-//	GET    /healthz            200, or 503 when draining
+//	GET    /healthz            liveness: always 200 while the process serves
+//	GET    /readyz             readiness: 200, or 503 when draining
 //	GET    /debug/pprof/       host-side CPU/heap/goroutine profiling
+//
+// Replication (durable servers only; all are 404 without a DataDir):
+//
+//	GET    /v1/replicate/stream    NDJSON frame stream from ?from=&epoch=
+//	GET    /v1/replicate/snapshot  journal prefix + artifact manifest
+//	GET    /v1/replicate/manifest  artifact manifest (anti-entropy diff)
+//	GET    /v1/replicate/artifact/{kind}/{hash}  one artifact's bytes
+//	POST   /v1/promote             409 here (already primary); followers serve it
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -723,6 +854,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.journal != nil {
+		mux.HandleFunc("GET /v1/replicate/stream", s.handleReplicateStream)
+		mux.HandleFunc("GET /v1/replicate/snapshot", s.handleReplicateSnapshot)
+		mux.HandleFunc("GET /v1/replicate/manifest", s.handleReplicateManifest)
+		mux.HandleFunc("GET /v1/replicate/artifact/{kind}/{hash}", s.handleReplicateArtifact)
+	}
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	// Admin profiling: the stdlib pprof handlers, registered explicitly so
 	// the service's mux (not http.DefaultServeMux) serves them.
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -892,6 +1031,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.tel.Gauge("stencilserve_journal_records").Set(float64(js.Records))
 		s.tel.Gauge("stencilserve_journal_bytes").Set(float64(js.Bytes))
 		s.tel.Gauge("stencilserve_journal_group_commits").Set(float64(js.Syncs))
+		s.tel.Gauge("stencilserve_journal_size_bytes").Set(float64(js.Size))
+		s.tel.Gauge("stencilserve_journal_synced_bytes").Set(float64(js.SyncedBytes))
+		s.tel.Gauge("stencilserve_journal_epoch").Set(float64(js.Epoch))
+		s.tel.Gauge("stencilserve_replication_streams").Set(float64(s.rep.streams.Load()))
+		s.tel.Gauge("stencilserve_replication_rec_frames_total").Set(float64(s.rep.recFrames.Load()))
+		s.tel.Gauge("stencilserve_replication_artifact_frames_total").Set(float64(s.rep.artFrames.Load()))
+		s.tel.Gauge("stencilserve_replication_snapshots_total").Set(float64(s.rep.snapshots.Load()))
+		s.tel.Gauge("stencilserve_journal_compactions_total").Set(float64(s.rep.compactions.Load()))
 	}
 	if s.recovery.JournalRecords > 0 || s.recovery.Reenqueued > 0 || s.recovery.ResultsRehydrated > 0 {
 		s.tel.Gauge("stencilserve_recovery_journal_records").Set(float64(s.recovery.JournalRecords))
@@ -909,17 +1056,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeRuntimeMetrics(w)
 }
 
+// handleHealthz is liveness only: 200 whenever the process can answer,
+// including while draining — a draining server is alive, just not ready.
+// Orchestrators restart on failed liveness and de-route on failed readiness;
+// conflating them (as this endpoint once did) turns every graceful drain
+// into a kill. Role and mode ride along for humans.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	mode := "ok"
 	if draining {
+		mode = "draining"
+	} else if d := s.degradeDepth(); d > 0 && s.queue.depth() >= d {
+		mode = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": mode, "role": "primary"})
+}
+
+// handleReadyz is the routing decision: 503 stops new traffic when draining
+// (or after a simulated kill). Degraded mode stays ready — cache hits still
+// serve, and de-routing the whole node would shed them too.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining || s.killed.Load() {
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, ErrDraining)
 		return
 	}
-	mode := "ok"
-	if d := s.degradeDepth(); d > 0 && s.queue.depth() >= d {
-		mode = "degraded"
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": mode})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "role": "primary"})
 }
